@@ -1,0 +1,124 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/npb"
+	"repro/internal/npb/suite"
+	"repro/internal/platform"
+)
+
+// Ablation benchmarks: each disables one model ingredient and reports the
+// resulting headline metric next to the full model's, quantifying which
+// mechanism produces which of the paper's findings. (DESIGN.md §4/§5.)
+
+// skelComm returns (time, %comm) of a kernel skeleton on p.
+func skelComm(b *testing.B, kernel string, p *platform.Platform, np int) (float64, float64) {
+	b.Helper()
+	fn, err := suite.Skeleton(kernel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out, err := core.Execute(core.RunSpec{Platform: p, NP: np}, func(c *mpi.Comm) error {
+		return fn(c, npb.ClassB)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return out.Time(), out.Profile.CommPercent()
+}
+
+// BenchmarkAblationNICContention removes the DCC vSwitch's super-linear
+// NIC-sharing exponent: without it, Table II's DCC communication collapse
+// (FT ~85% at np>=16) cannot be reproduced.
+func BenchmarkAblationNICContention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		full := platform.DCC()
+		_, withExp := skelComm(b, "ft", full, 32)
+
+		linear := platform.DCC()
+		linear.Inter.ShareExponent = 1 // fair sharing only
+		_, without := skelComm(b, "ft", linear, 32)
+
+		if i == 0 {
+			b.ReportMetric(withExp, "comm%-ft-dcc-full")
+			b.ReportMetric(without, "comm%-ft-dcc-linear-share")
+		}
+	}
+}
+
+// BenchmarkAblationNUMAMasking removes the hypervisor NUMA-masking
+// penalty: the paper's CG speedup dip at 8 processes on DCC disappears.
+func BenchmarkAblationNUMAMasking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		speedup8 := func(p *platform.Platform) float64 {
+			t1, _ := skelComm(b, "cg", p, 1)
+			t8, _ := skelComm(b, "cg", p, 8)
+			return t1 / t8
+		}
+		masked := speedup8(platform.DCC())
+
+		pinned := platform.DCC()
+		pinned.NUMAPinned = true // pretend the guest could pin memory
+		unmasked := speedup8(pinned)
+
+		if i == 0 {
+			b.ReportMetric(masked, "cg-speedup8-numa-masked")
+			b.ReportMetric(unmasked, "cg-speedup8-numa-pinned")
+		}
+	}
+}
+
+// BenchmarkAblationHyperThreading grants EC2's hardware threads full
+// core-like throughput: the EC2 dip at 16 processes (and Table III's
+// rcomp=2.39) vanish for the compute-bound EP, confirming the paper's
+// oversubscription diagnosis. (FT's dip would persist — at 16 ranks/node
+// it is memory-bandwidth-bound, which hardware threads cannot fix.)
+func BenchmarkAblationHyperThreading(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eff16 := func(p *platform.Platform) float64 {
+			t8, _ := skelComm(b, "ep", p, 8)
+			t16, _ := skelComm(b, "ep", p, 16)
+			return t8 / t16 / 2
+		}
+		real16 := eff16(platform.EC2())
+
+		magic := platform.EC2()
+		magic.CPU.HTBonus = 1.0 // each hardware thread behaves like a core
+		ideal16 := eff16(magic)
+
+		if i == 0 {
+			b.ReportMetric(real16, "ep-ec2-8to16-efficiency")
+			b.ReportMetric(ideal16, "ep-ec2-8to16-efficiency-fullHT")
+		}
+	}
+}
+
+// BenchmarkAblationJitter strips all stochastic noise from DCC: the
+// latency fluctuation of Figure 2 (and the residual irregularity of
+// Figure 7) is jitter-driven, while the mean times barely move —
+// "we saw only minor effects (e.g. jitter) that were directly
+// attributable to virtualization".
+func BenchmarkAblationJitter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		noisy := platform.DCC()
+		tNoisy, _ := skelComm(b, "is", noisy, 32)
+
+		quiet := platform.DCC()
+		quiet.ComputeJitter = platform.DCC().ComputeJitter
+		quiet.ComputeJitter.Sigma = 0
+		quiet.ComputeJitter.SpikeProb = 0
+		quiet.Inter.Jitter.Sigma = 0
+		quiet.Inter.Jitter.AddMean = 0
+		quiet.Inter.Jitter.SpikeProb = 0
+		tQuiet, _ := skelComm(b, "is", quiet, 32)
+
+		if i == 0 {
+			b.ReportMetric(tNoisy, "is-dcc32-seconds-noisy")
+			b.ReportMetric(tQuiet, "is-dcc32-seconds-quiet")
+			b.ReportMetric(tNoisy/tQuiet, "noise-slowdown-ratio")
+		}
+	}
+}

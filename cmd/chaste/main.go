@@ -1,0 +1,65 @@
+// Command chaste runs the Chaste cardiac-simulation proxy on a modelled
+// platform and prints per-section timings and an IPM-style report.
+//
+// Usage:
+//
+//	chaste -platform dcc -np 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps/chaste"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/platform"
+)
+
+func main() {
+	platName := flag.String("platform", "vayu", "platform: vayu, dcc or ec2")
+	np := flag.Int("np", 32, "process count")
+	steps := flag.Int("steps", 0, "override timestep count (0 = paper's 250)")
+	flag.Parse()
+
+	p, err := platform.ByName(*platName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := chaste.Default()
+	if *steps > 0 {
+		cfg.Steps = *steps
+	}
+	var stats *chaste.Stats
+	out, err := core.Execute(core.RunSpec{
+		Platform: p, NP: *np, MemPerRank: cfg.MemPerRank(*np),
+	}, func(c *mpi.Comm) error {
+		s, err := chaste.Run(c, cfg)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			stats = s
+		}
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("Chaste rabbit heart (%d nodes, %d elements) on %s, np=%d\n",
+		cfg.MeshNodes, cfg.MeshElements, p.Name, *np)
+	fmt.Printf("  total   %8.1f s\n", stats.Total)
+	fmt.Printf("  input   %8.1f s\n", stats.Input)
+	fmt.Printf("  KSp     %8.1f s\n", stats.KSp)
+	fmt.Printf("  output  %8.1f s\n", stats.Output)
+	fmt.Printf("  %%comm   %8.1f\n", out.Profile.CommPercent())
+	fmt.Println()
+	fmt.Print(out.Profile.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chaste:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Command metum runs the MetUM global atmosphere proxy on a modelled
+// platform and prints an IPM-style report.
+//
+// Usage:
+//
+//	metum -platform ec2 -np 32 -nodes 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps/metum"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/platform"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+func main() {
+	platName := flag.String("platform", "vayu", "platform: vayu, dcc or ec2")
+	np := flag.Int("np", 32, "process count")
+	nodes := flag.Int("nodes", 0, "node count (0 = memory-driven minimum)")
+	steps := flag.Int("steps", 0, "override timestep count (0 = paper's 18)")
+	breakdown := flag.Bool("breakdown", false, "print the per-process ATM_STEP breakdown (Fig 7 style)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event timeline to this file")
+	flag.Parse()
+
+	p, err := platform.ByName(*platName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := metum.Default()
+	if *steps > 0 {
+		cfg.Steps = *steps
+		if cfg.Warmup >= cfg.Steps {
+			cfg.Warmup = 0
+		}
+	}
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.New(*np)
+	}
+	var stats *metum.Stats
+	out, err := core.Execute(core.RunSpec{
+		Platform: p, NP: *np, Nodes: *nodes, MemPerRank: cfg.MemPerRank(*np),
+		ExtraTracer: tracerOrNil(rec),
+	}, func(c *mpi.Comm) error {
+		s, err := metum.Run(c, cfg)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			stats = s
+		}
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("MetUM N320L70 on %s, np=%d\n", p.Name, *np)
+	fmt.Printf("  total   %8.1f s\n", stats.Total)
+	fmt.Printf("  warmed  %8.1f s\n", stats.Warmed)
+	fmt.Printf("  I/O     %8.1f s\n", stats.IO)
+	fmt.Printf("  %%comm   %8.1f\n", out.Profile.CommPercent())
+	fmt.Printf("  %%imbal  %8.1f\n", out.Profile.LoadImbalancePercent())
+	fmt.Println()
+	fmt.Print(out.Profile.String())
+
+	if *breakdown {
+		comp, comm, _ := out.Profile.Region("ATM_STEP")
+		fmt.Println()
+		fmt.Print(report.BarBreakdown("ATM_STEP time by process", comp, comm, 60))
+	}
+
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := rec.WriteChrome(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %d timeline events to %s (open in chrome://tracing)\n", rec.Count(), *traceOut)
+	}
+}
+
+// tracerOrNil avoids a typed-nil interface when tracing is off.
+func tracerOrNil(rec *trace.Recorder) mpi.Tracer {
+	if rec == nil {
+		return nil
+	}
+	return rec
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "metum:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+// Command npb runs one NAS Parallel Benchmark kernel on a modelled
+// platform, either in full-math mode (verified numerics; EP, CG, FT, IS,
+// MG at the small classes) or skeleton mode (pattern replay, any kernel,
+// class B and beyond).
+//
+// Usage:
+//
+//	npb -bench cg -class B -np 16 -platform dcc -mode skeleton
+//	npb -bench ep -class S -np 4 -platform vayu -mode full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/npb"
+	"repro/internal/npb/suite"
+	"repro/internal/platform"
+)
+
+func main() {
+	bench := flag.String("bench", "cg", "kernel: bt ep cg ft is lu mg sp")
+	className := flag.String("class", "S", "problem class: S W A B C")
+	np := flag.Int("np", 1, "process count")
+	platName := flag.String("platform", "vayu", "platform: vayu, dcc or ec2")
+	mode := flag.String("mode", "skeleton", "full (verified math) or skeleton (pattern replay)")
+	flag.Parse()
+
+	p, err := platform.ByName(*platName)
+	if err != nil {
+		fatal(err)
+	}
+	class, err := npb.ParseClass(*className)
+	if err != nil {
+		fatal(err)
+	}
+	if !npb.ValidProcs(*bench, *np) {
+		fatal(fmt.Errorf("%s does not accept np=%d", *bench, *np))
+	}
+
+	switch *mode {
+	case "skeleton":
+		fn, err := suite.Skeleton(*bench)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := core.Execute(core.RunSpec{Platform: p, NP: *np}, func(c *mpi.Comm) error {
+			return fn(c, class)
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s.%s.%d on %s: %.2f s virtual walltime, %.1f%% comm\n",
+			*bench, class, *np, p.Name, out.Time(), out.Profile.CommPercent())
+	case "full":
+		fn, ok := suite.Fulls[*bench]
+		if !ok {
+			fatal(fmt.Errorf("kernel %s has no full-math implementation (EP, CG, FT, IS, MG do; LU/BT/SP are skeleton-only)", *bench))
+		}
+		// Establish self-goldens for the kernels with substituted problem
+		// generators (a trusted serial run; see DESIGN.md).
+		if *bench == "cg" || *bench == "ft" || *bench == "mg" {
+			if err := suite.RegisterGoldens(class); err != nil {
+				fatal(err)
+			}
+		}
+		var result *suite.FullResult
+		out, err := core.Execute(core.RunSpec{Platform: p, NP: *np}, func(c *mpi.Comm) error {
+			r, err := fn(c, class)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				result = r
+			}
+			return nil
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s.%s.%d on %s: %.2f s virtual walltime, %.1f%% comm\n",
+			*bench, class, *np, p.Name, out.Time(), out.Profile.CommPercent())
+		fmt.Printf("verification: %s\n", result.VerifyMsg)
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "npb:", err)
+	os.Exit(1)
+}

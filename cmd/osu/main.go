@@ -1,0 +1,56 @@
+// Command osu runs the OSU MPI micro-benchmarks (bandwidth and latency
+// between two compute nodes) on a modelled platform.
+//
+// Usage:
+//
+//	osu -platform vayu|dcc|ec2 -bench bw|latency [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/osu"
+	"repro/internal/platform"
+)
+
+func main() {
+	platName := flag.String("platform", "vayu", "platform: vayu, dcc or ec2")
+	bench := flag.String("bench", "bw", "benchmark: bw or latency")
+	seed := flag.Uint64("seed", 0, "jitter seed (repetition index)")
+	flag.Parse()
+
+	p, err := platform.ByName(*platName)
+	if err != nil {
+		fatal(err)
+	}
+	sizes := osu.DefaultSizes()
+	switch *bench {
+	case "bw":
+		pts, err := osu.BandwidthSeeded(p, sizes, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# OSU MPI bandwidth on %s (%s)\n# %10s %14s\n", p.Name, p.Inter.Name, "bytes", "MB/s")
+		for _, pt := range pts {
+			fmt.Printf("  %10d %14.2f\n", pt.Bytes, pt.Value)
+		}
+	case "latency":
+		pts, err := osu.LatencySeeded(p, sizes, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# OSU MPI latency on %s (%s)\n# %10s %14s\n", p.Name, p.Inter.Name, "bytes", "us")
+		for _, pt := range pts {
+			fmt.Printf("  %10d %14.2f\n", pt.Bytes, pt.Value*1e6)
+		}
+	default:
+		fatal(fmt.Errorf("unknown benchmark %q (want bw or latency)", *bench))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "osu:", err)
+	os.Exit(1)
+}

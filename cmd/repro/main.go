@@ -1,0 +1,183 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation section into a results directory: Figures 1-7 and Tables
+// II-III, plus the Chaste 32-core prose numbers.
+//
+// Usage:
+//
+//	repro [-out results] [-only fig1,fig4,table3] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/npb"
+	"repro/internal/osu"
+	"repro/internal/report"
+)
+
+func main() {
+	out := flag.String("out", "results", "output directory")
+	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig3,fig4,table2,fig5,fig6,table3,fig7,chaste32")
+	quick := flag.Bool("quick", false, "smaller sweeps (fewer sizes/process counts)")
+	check := flag.Bool("check", false, "evaluate the paper's headline claims and report PASS/FAIL")
+	flag.Parse()
+
+	if *check {
+		checks, err := experiments.RunChecks()
+		if err != nil {
+			fatal(err)
+		}
+		failed := 0
+		for _, c := range checks {
+			status := "PASS"
+			if !c.Passed {
+				status = "FAIL"
+				failed++
+			}
+			fmt.Printf("[%s] %-4s %s\n       measured: %s\n", c.ID, status, c.Claim, c.Detail)
+		}
+		fmt.Printf("\n%d/%d claims reproduced\n", len(checks)-failed, len(checks))
+		if failed > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	sizes := osu.DefaultSizes()
+	if *quick {
+		sizes = []int{1, 64, 4096, 1 << 18, 1 << 22}
+	}
+
+	run := func(name string, fn func() error) {
+		if !sel(name) {
+			return
+		}
+		start := time.Now()
+		fmt.Printf("[%s] running...\n", name)
+		if err := fn(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Printf("[%s] done in %v\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	writeFigure := func(base string, fig *report.Figure) error {
+		if err := os.WriteFile(filepath.Join(*out, base+".csv"), []byte(fig.CSV()), 0o644); err != nil {
+			return err
+		}
+		txt := fig.ASCII(64, 16)
+		fmt.Println(txt)
+		return os.WriteFile(filepath.Join(*out, base+".txt"), []byte(txt), 0o644)
+	}
+	writeTable := func(base string, t *report.Table) error {
+		if err := os.WriteFile(filepath.Join(*out, base+".csv"), []byte(t.CSV()), 0o644); err != nil {
+			return err
+		}
+		txt := t.Render()
+		fmt.Println(txt)
+		return os.WriteFile(filepath.Join(*out, base+".txt"), []byte(txt), 0o644)
+	}
+
+	run("fig1", func() error {
+		fig, err := experiments.Fig1OSUBandwidth(sizes)
+		if err != nil {
+			return err
+		}
+		return writeFigure("fig1_osu_bandwidth", fig)
+	})
+	run("fig2", func() error {
+		fig, err := experiments.Fig2OSULatency(sizes)
+		if err != nil {
+			return err
+		}
+		return writeFigure("fig2_osu_latency", fig)
+	})
+	run("fig3", func() error {
+		t, err := experiments.Fig3NPBSerial()
+		if err != nil {
+			return err
+		}
+		return writeTable("fig3_npb_serial", t)
+	})
+	run("fig4", func() error {
+		kernels := npb.Names()
+		if *quick {
+			kernels = []string{"ep", "cg", "ft", "is"}
+		}
+		for _, k := range kernels {
+			fig, err := experiments.Fig4NPBScaling(k)
+			if err != nil {
+				return err
+			}
+			if err := writeFigure("fig4_"+k+"_scaling", fig); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	run("table2", func() error {
+		t, err := experiments.Table2CommPercent()
+		if err != nil {
+			return err
+		}
+		return writeTable("table2_comm_percent", t)
+	})
+	run("fig5", func() error {
+		fig, err := experiments.Fig5Chaste()
+		if err != nil {
+			return err
+		}
+		return writeFigure("fig5_chaste_speedup", fig)
+	})
+	run("fig6", func() error {
+		fig, err := experiments.Fig6MetUM()
+		if err != nil {
+			return err
+		}
+		return writeFigure("fig6_metum_speedup", fig)
+	})
+	run("table3", func() error {
+		t, err := experiments.Table3MetUM()
+		if err != nil {
+			return err
+		}
+		return writeTable("table3_metum_32", t)
+	})
+	run("fig7", func() error {
+		txt, err := experiments.Fig7Breakdown()
+		if err != nil {
+			return err
+		}
+		fmt.Println(txt)
+		return os.WriteFile(filepath.Join(*out, "fig7_breakdown.txt"), []byte(txt), 0o644)
+	})
+	run("chaste32", func() error {
+		t, err := experiments.Chaste32Prose()
+		if err != nil {
+			return err
+		}
+		return writeTable("chaste32_ipm", t)
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repro:", err)
+	os.Exit(1)
+}

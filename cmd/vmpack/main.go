@@ -1,0 +1,69 @@
+// Command vmpack demonstrates the HPC-environment packaging workflow on
+// the command line: build an application on the Vayu environment with the
+// chosen compilation switches, package a VM image and validate it against
+// each cloud target.
+//
+// Usage:
+//
+//	vmpack [-tuned] [-app um]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/hpcenv"
+)
+
+func main() {
+	tuned := flag.Bool("tuned", false, "build with host-tuned flags (icc -xHost): fast but uses SSE4")
+	app := flag.String("app", "um", "application name to build and package")
+	flag.Parse()
+
+	vayu := hpcenv.VayuHost()
+	for _, m := range hpcenv.StandardModules() {
+		if err := vayu.Env.Install(m); err != nil {
+			fatal(err)
+		}
+	}
+	if err := vayu.Env.Load("um-deps"); err != nil {
+		fatal(err)
+	}
+
+	cc := hpcenv.Compiler{Name: "ifort", Version: "11.1.072"}
+	bin, err := cc.Build(*app, vayu, hpcenv.BuildOptions{
+		HostTuned: *tuned,
+		Modules:   []string{"um-deps"},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	mode := "portable"
+	if *tuned {
+		mode = "host-tuned"
+	}
+	fmt.Printf("built %s (%s) on %s; ISA needs: %d features\n", bin.App, mode, bin.BuiltOn, len(bin.Needs))
+
+	img := hpcenv.Package("hpc-env", "CentOS 5.7", vayu, bin)
+	fmt.Printf("packaged image %q with modules: %v\n\n", img.Name, img.Env.Loaded())
+
+	ok := true
+	for _, target := range []hpcenv.Host{hpcenv.VayuHost(), hpcenv.DCCHost(), hpcenv.EC2Host()} {
+		if err := hpcenv.Deploy(img, target).Exec(*app); err != nil {
+			fmt.Printf("  %-16s FAILED: %v\n", target.Name, err)
+			ok = false
+		} else {
+			fmt.Printf("  %-16s ok\n", target.Name)
+		}
+	}
+	if !ok {
+		fmt.Println("\nhint: rebuild without -tuned for a portable binary")
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vmpack:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// Spot pricing: the paper's closing future-work item implemented —
+// "integrate Amazon EC2 spot-pricing into our local ANUPBS scheduler, to
+// avail of price competitive compute resources". Run a week-long MetUM
+// campaign on EC2 spot instances with different bidding strategies and
+// compare cost and completion against on-demand.
+//
+//	go run ./examples/spotpricing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps/metum"
+	"repro/internal/arrive"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/platform"
+	"repro/internal/report"
+)
+
+func main() {
+	// 1. How long does one MetUM run take on EC2-4 (32 ranks, 4 nodes)?
+	cfg := metum.Default()
+	var stats *metum.Stats
+	_, err := core.Execute(core.RunSpec{
+		Platform: platform.EC2(), NP: 32, Nodes: 4, MemPerRank: cfg.MemPerRank(32),
+	}, func(c *mpi.Comm) error {
+		s, err := metum.Run(c, cfg)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			stats = s
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A production campaign: 200 forecast cycles.
+	const cycles = 200
+	jobHours := stats.Total / 3600 * cycles
+	const nodes = 4
+	fmt.Printf("one MetUM run on ec2-4: %.0f s; campaign of %d cycles = %.1f node-hours x %d nodes\n\n",
+		stats.Total, cycles, jobHours, nodes)
+
+	// 2. Sweep bidding strategies on the spot market.
+	market := arrive.NewSpotMarket(2012)
+	table := &report.Table{
+		Title: "MetUM campaign on EC2 spot (on-demand $1.60/node-hr)",
+		Headers: []string{"strategy", "bid $", "done", "interrupts",
+			"wall (h)", "cost $", "on-demand $", "savings"},
+	}
+	strategies := []struct {
+		name string
+		bid  float64
+		ckpt float64
+	}{
+		{"floor bid, ckpt 1h", market.Floor + 0.02, 1},
+		{"mean bid, ckpt 1h", market.Mean, 1},
+		{"mean bid, no ckpt", market.Mean, 0},
+		{"on-demand bid, ckpt 1h", market.OnDemand, 1},
+		{"above spikes, ckpt 1h", market.OnDemand * 1.6, 1},
+	}
+	for _, s := range strategies {
+		out, err := market.SpotRun(jobHours, nodes, s.bid, s.ckpt, 24*14)
+		if err != nil {
+			log.Fatal(err)
+		}
+		table.AddRow(s.name, s.bid, fmt.Sprintf("%v", out.Completed), out.Interruptions,
+			out.WallHours, out.Cost, out.OnDemandCost,
+			fmt.Sprintf("%.0f%%", out.Savings*100))
+	}
+	fmt.Print(table.Render())
+
+	// 3. Let the scheduler pick.
+	bid, best, err := market.BestBid(jobHours, nodes, 1, 24*14)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nscheduler-selected bid: $%.2f -> cost $%.0f (%.0f%% below on-demand), %d interruptions\n",
+		bid, best.Cost, best.Savings*100, best.Interruptions)
+}

@@ -1,0 +1,85 @@
+// VM packaging: the paper's workflow — build applications inside the HPC
+// facility's module environment, package /apps and the binaries into a VM
+// image, and deploy it to the private (DCC) and public (EC2) clouds —
+// including the SSE4 portability failure the paper hit and its fix.
+//
+//	go run ./examples/vmpackaging
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hpcenv"
+)
+
+func main() {
+	// 1. Stand up the Vayu environment: install the module tree, load the
+	//    application stacks.
+	vayu := hpcenv.VayuHost()
+	for _, m := range hpcenv.StandardModules() {
+		if err := vayu.Env.Install(m); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, m := range []string{"um-deps", "chaste-deps"} {
+		if err := vayu.Env.Load(m); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("loaded on vayu:", vayu.Env.Loaded())
+
+	// 2. Build the applications. The first attempt uses host-tuned flags
+	//    (icc -xHost), as one naturally would on the HPC login node.
+	ifort := hpcenv.Compiler{Name: "ifort", Version: "11.1.072"}
+	icpc := hpcenv.Compiler{Name: "icpc", Version: "11.1.046"}
+	umTuned, err := ifort.Build("um", vayu, hpcenv.BuildOptions{
+		HostTuned: true, Modules: []string{"um-deps"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	chasteBin, err := icpc.Build("chaste", vayu, hpcenv.BuildOptions{
+		Modules: []string{"chaste-deps"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Package the environment and binaries into a VM image (the rsync
+	//    of /apps plus home/project binaries).
+	img := hpcenv.Package("hpc-env-2012-02", "CentOS 5.7", vayu, umTuned, chasteBin)
+	fmt.Printf("packaged image %s with %d binaries and the module tree\n", img.Name, len(img.Binaries))
+
+	// 4. Deploy to the clouds. The tuned UM binary dies on the DCC guest:
+	//    VMware's compatibility masking hides SSE4 from the virtual CPU.
+	for _, target := range []hpcenv.Host{hpcenv.DCCHost(), hpcenv.EC2Host()} {
+		dep := hpcenv.Deploy(img, target)
+		for _, app := range []string{"um", "chaste"} {
+			if err := dep.Exec(app); err != nil {
+				fmt.Printf("  %-16s %-8s FAILED: %v\n", target.Name, app, err)
+			} else {
+				fmt.Printf("  %-16s %-8s ok\n", target.Name, app)
+			}
+		}
+	}
+
+	// 5. The fix the paper describes: "the selection of suitable
+	//    compilation switches" — rebuild UM portably and re-package.
+	umPortable, err := ifort.Build("um", vayu, hpcenv.BuildOptions{
+		Modules: []string{"um-deps"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	img2 := hpcenv.Package("hpc-env-2012-02b", "CentOS 5.7", vayu, umPortable, chasteBin)
+	fmt.Printf("\nrebuilt um with portable switches; image %s:\n", img2.Name)
+	for _, target := range []hpcenv.Host{hpcenv.DCCHost(), hpcenv.EC2Host(), hpcenv.VayuHost()} {
+		dep := hpcenv.Deploy(img2, target)
+		if err := dep.Exec("um"); err != nil {
+			fmt.Printf("  %-16s um FAILED: %v\n", target.Name, err)
+		} else {
+			fmt.Printf("  %-16s um ok\n", target.Name)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+// Package metum implements a performance proxy of the UK Met Office
+// Unified Model (MetUM) global atmosphere benchmark used in the paper: an
+// N320L70 (640x481x70) grid, 2D lon/lat domain decomposition, 18
+// timesteps of dynamics+physics with wide halo exchanges, a semi-implicit
+// Helmholtz solver dominated by tiny all-reduces, polar-row collectives, a
+// 1.6 GB dump read at start and no output (the paper's configuration).
+//
+// The proxy's computational weights are calibrated against Table III and
+// Figure 6 of the paper (see EXPERIMENTS.md); its load imbalance is
+// latitude-dependent (physics does more work in mid-latitude storm
+// tracks), which reproduces the band pattern of Figure 7 where processes
+// 8-23 of 32 run heavy.
+package metum
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cpumodel"
+	"repro/internal/mpi"
+)
+
+// Config describes a MetUM run.
+type Config struct {
+	NX, NY, NZ int // grid: longitudes, latitudes, levels
+	Steps      int // timesteps
+	Warmup     int // leading timesteps excluded from the "warmed" time
+
+	DumpBytes int64 // initial dump read (rank 0 reads, then distributes)
+
+	HaloSwapsPerStep   int     // halo-exchange groups per step
+	HaloWidth          int     // halo depth in grid points
+	FieldsPerSwap      float64 // average fields exchanged per swap
+	SolverItersPerStep int     // Helmholtz iterations (one 8-byte all-reduce each)
+
+	FlopsPerStep float64 // whole-model flops per timestep
+	BytesPerStep float64 // whole-model memory traffic per timestep
+
+	ImbalanceAmp float64 // peak extra physics work in mid-latitudes (0.15 = +15%)
+
+	MemTotal        int64 // model memory footprint, split across ranks
+	MemPerRankFixed int64 // per-rank fixed overhead (runtime, halos)
+}
+
+// Default returns the paper's N320L70 benchmark configuration.
+func Default() Config {
+	return Config{
+		NX: 640, NY: 481, NZ: 70,
+		Steps:  18, // a 2.5-hour simulation at the operational timestep
+		Warmup: 2,
+
+		DumpBytes: gigabytes(1.6),
+
+		HaloSwapsPerStep:   80,
+		HaloWidth:          2,
+		FieldsPerSwap:      1.5,
+		SolverItersPerStep: 60,
+
+		FlopsPerStep: 510e9,
+		BytesPerStep: 1.1e12,
+
+		ImbalanceAmp: 0.45,
+
+		MemTotal:        gigabytes(38.5),
+		MemPerRankFixed: 32 << 20,
+	}
+}
+
+// MemPerRank returns the per-rank memory requirement at np ranks, used for
+// placement feasibility (the paper's EC2 runs needed at least two 20 GB
+// nodes).
+func (cfg Config) MemPerRank(np int) int64 {
+	return cfg.MemPerRankFixed + cfg.MemTotal/int64(np)
+}
+
+// Grid returns the lon x lat process decomposition for np ranks: the most
+// square px*py = np factorisation with px >= py (more segments along the
+// longer longitude axis).
+func Grid(np int) (px, py int) {
+	py = 1
+	for f := 1; f*f <= np; f++ {
+		if np%f == 0 {
+			py = f
+		}
+	}
+	return np / py, py
+}
+
+// Stats summarises one run (identical on every rank).
+type Stats struct {
+	Total  float64 // final virtual wall time including I/O
+	Warmed float64 // time of the post-warmup timesteps ("warmed" in Fig 6)
+	IO     float64 // input-dump read+distribute time
+}
+
+// imbalance returns the latitude-dependent physics multiplier for a
+// process row: a raised-cosine bump peaking in mid-latitude bands.
+func imbalance(amp float64, ry, py int) float64 {
+	if py == 1 {
+		return 1
+	}
+	// Row centre in [0,1]; heavy around 0.35 and 0.65 (storm tracks).
+	pos := (float64(ry) + 0.5) / float64(py)
+	d1 := pos - 0.35
+	d2 := pos - 0.65
+	w := math.Exp(-d1*d1/0.02) + math.Exp(-d2*d2/0.02)
+	return 1 + amp*w/1.2
+}
+
+// Run executes the MetUM proxy on the communicator. Regions INPUT,
+// ATM_STEP, HELMHOLTZ and POLAR are reported to any attached profiler.
+func Run(c *mpi.Comm, cfg Config) (*Stats, error) {
+	np := c.Size()
+	if cfg.Steps <= 0 || cfg.Warmup < 0 || cfg.Warmup >= cfg.Steps {
+		return nil, fmt.Errorf("metum: invalid steps/warmup %d/%d", cfg.Steps, cfg.Warmup)
+	}
+	px, py := Grid(np)
+	if cfg.NX/px < cfg.HaloWidth || cfg.NY/py < cfg.HaloWidth {
+		return nil, fmt.Errorf("metum: %d ranks over-decompose the %dx%d grid", np, cfg.NX, cfg.NY)
+	}
+	rx, ry := c.Rank()%px, c.Rank()/px
+
+	// INPUT: rank 0 reads the dump sequentially and distributes each
+	// rank's share, the UM read-on-PE0 startup pattern.
+	c.Region("INPUT")
+	const tagDump = 71
+	share := int(cfg.DumpBytes / int64(np))
+	var ioRead float64
+	c.SetSolo(true) // startup: only rank 0 transmits, no NIC contention
+	if c.Rank() == 0 {
+		c.ReadShared(cfg.DumpBytes, 1)
+		ioRead = c.Clock()
+		for r := 1; r < np; r++ {
+			c.SendN(r, tagDump, share)
+		}
+	} else {
+		c.RecvN(0, tagDump)
+	}
+	c.SetSolo(false)
+	c.Barrier()
+
+	// Row communicator for the polar filter (all ranks split; only the
+	// polar rows communicate each step).
+	rowComm := c.Split(ry, rx)
+	polar := ry == 0 || ry == py-1
+
+	// Per-step work: this rank's grid share with the latitude multiplier
+	// on the flop (physics) component; memory traffic is uniform.
+	phi := imbalance(cfg.ImbalanceAmp, ry, py)
+	stepWork := cpumodel.Work{
+		Flops: cfg.FlopsPerStep / float64(np) * phi,
+		Bytes: cfg.BytesPerStep / float64(np),
+	}
+
+	// Halo faces: east-west and north-south, HaloWidth deep, scaled by the
+	// average number of fields exchanged per swap group.
+	ewBytes := int(8 * float64(cfg.NZ*(cfg.NY/py)*cfg.HaloWidth) * cfg.FieldsPerSwap)
+	nsBytes := int(8 * float64(cfg.NZ*(cfg.NX/px)*cfg.HaloWidth) * cfg.FieldsPerSwap)
+	east := ry*px + (rx+1)%px
+	west := ry*px + (rx-1+px)%px
+	var north, south int = -1, -1
+	if ry > 0 {
+		north = (ry-1)*px + rx
+	}
+	if ry < py-1 {
+		south = (ry+1)*px + rx
+	}
+
+	const (
+		tagEW = 72
+		tagNS = 74
+	)
+	haloSwap := func() {
+		if px > 1 {
+			c.SendrecvN(east, tagEW, ewBytes, west, tagEW)
+			c.SendrecvN(west, tagEW+1, ewBytes, east, tagEW+1)
+		}
+		if south >= 0 {
+			c.SendN(south, tagNS, nsBytes)
+		}
+		if north >= 0 {
+			c.SendN(north, tagNS+1, nsBytes)
+		}
+		if north >= 0 {
+			c.RecvN(north, tagNS)
+		}
+		if south >= 0 {
+			c.RecvN(south, tagNS+1)
+		}
+	}
+
+	var warmedStart float64
+	for step := 0; step < cfg.Steps; step++ {
+		if step == cfg.Warmup {
+			warmedStart = c.Clock()
+		}
+		// The first (warmup) steps carry extra setup cost, as in the real
+		// model; Figure 6 plots the "warmed" time that excludes them.
+		w := stepWork
+		if step < cfg.Warmup {
+			w = w.Scale(1.3)
+		}
+
+		// ATM_STEP: dynamics and physics interleaved with halo groups.
+		c.Region("ATM_STEP")
+		const chunks = 4
+		swapsPerChunk := cfg.HaloSwapsPerStep / chunks
+		for ch := 0; ch < chunks; ch++ {
+			c.Compute(w.Scale(0.75 / chunks))
+			for s := 0; s < swapsPerChunk; s++ {
+				haloSwap()
+			}
+		}
+
+		// HELMHOLTZ: the semi-implicit solver — many tiny all-reduces.
+		c.Region("HELMHOLTZ")
+		solverWork := w.Scale(0.22 / float64(cfg.SolverItersPerStep))
+		for it := 0; it < cfg.SolverItersPerStep; it++ {
+			c.Compute(solverWork)
+			c.AllreduceN(8)
+		}
+
+		// POLAR: Fourier filtering of the polar rows — a row-wide gather
+		// on the top and bottom process rows only.
+		c.Region("POLAR")
+		if polar && px > 1 {
+			rowComm.AllgatherN(8 * cfg.NZ * (cfg.NX / px) / 4)
+		}
+		c.Compute(w.Scale(0.03))
+	}
+	c.Region("END")
+	// Final synchronisation (the model's end-of-run reduction).
+	c.AllreduceN(8)
+
+	total := c.Clock()
+	// Agree on job-wide numbers: the slowest rank defines the times.
+	buf := []float64{total, total - warmedStart, ioRead}
+	c.Allreduce(mpi.Max, buf)
+	return &Stats{Total: buf[0], Warmed: buf[1], IO: buf[2]}, nil
+}
+
+// gigabytes converts a GB count to bytes.
+func gigabytes(g float64) int64 { return int64(g * float64(int64(1)<<30)) }

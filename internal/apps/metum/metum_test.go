@@ -1,0 +1,214 @@
+package metum
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/platform"
+)
+
+// runUM executes the default benchmark on a platform with the given
+// placement and returns the stats and profile.
+func runUM(t *testing.T, p *platform.Platform, np, nodes int) (*Stats, *core.Outcome) {
+	t.Helper()
+	cfg := Default()
+	var stats *Stats
+	out, err := core.Execute(core.RunSpec{
+		Platform: p, NP: np, Nodes: nodes, Policy: cluster.Block,
+		MemPerRank: cfg.MemPerRank(np),
+	}, func(c *mpi.Comm) error {
+		s, err := Run(c, cfg)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			stats = s
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats, out
+}
+
+func TestGridFactorisation(t *testing.T) {
+	cases := map[int][2]int{
+		1: {1, 1}, 8: {4, 2}, 16: {4, 4}, 24: {6, 4}, 32: {8, 4}, 64: {8, 8},
+	}
+	for np, want := range cases {
+		px, py := Grid(np)
+		if px*py != np || px != want[0] || py != want[1] {
+			t.Errorf("Grid(%d) = %dx%d, want %dx%d", np, px, py, want[0], want[1])
+		}
+	}
+}
+
+func TestMemoryConstraintMatchesPaper(t *testing.T) {
+	// "memory constraints meant that it could not be run on fewer than 2
+	// nodes" on EC2's 20 GB instances.
+	cfg := Default()
+	p := platform.EC2()
+	if _, err := cluster.Place(p, cluster.Spec{NP: 8, Nodes: 1, MemPerRank: cfg.MemPerRank(8)}); err == nil {
+		t.Fatal("8 ranks on one EC2 node should exceed memory")
+	}
+	n, err := cluster.MinNodesFor(p, 8, cfg.MemPerRank(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 2 {
+		t.Fatalf("min nodes for 8 ranks = %d, want >= 2", n)
+	}
+	// DCC's 40 GB nodes hold the model on one node.
+	nd, err := cluster.MinNodesFor(platform.DCC(), 8, cfg.MemPerRank(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd != 1 {
+		t.Fatalf("DCC min nodes for 8 ranks = %d, want 1", nd)
+	}
+}
+
+func TestImbalancePeaksMidLatitude(t *testing.T) {
+	// py=4: rows 1 and 2 (processes 8..23 of 32) must be the heavy ones,
+	// reproducing Figure 7's band pattern.
+	inner := imbalance(0.15, 1, 4) + imbalance(0.15, 2, 4)
+	outer := imbalance(0.15, 0, 4) + imbalance(0.15, 3, 4)
+	if inner <= outer {
+		t.Fatalf("mid-latitude rows (%.3f) should outweigh polar rows (%.3f)", inner, outer)
+	}
+	if imbalance(0.15, 0, 1) != 1 {
+		t.Fatal("single row should have no imbalance")
+	}
+}
+
+func TestVayu32MatchesTableIII(t *testing.T) {
+	stats, out := runUM(t, platform.Vayu(), 32, 0)
+	t.Logf("vayu np=32: total=%.0f warmed=%.0f io=%.1f comm%%=%.1f imbal%%=%.1f",
+		stats.Total, stats.Warmed, stats.IO, out.Profile.CommPercent(), out.Profile.LoadImbalancePercent())
+	// Table III: time 303 s, %comm 13, %imbal 13, I/O 4.5 s.
+	if stats.Total < 240 || stats.Total > 380 {
+		t.Errorf("total = %.0f s, want ~303", stats.Total)
+	}
+	if io := stats.IO; io < 3 || io > 7 {
+		t.Errorf("I/O = %.1f s, want ~4.5", io)
+	}
+	if pc := out.Profile.CommPercent(); pc < 6 || pc > 22 {
+		t.Errorf("%%comm = %.1f, want ~13", pc)
+	}
+	if im := out.Profile.LoadImbalancePercent(); im < 5 || im > 25 {
+		t.Errorf("%%imbal = %.1f, want ~13", im)
+	}
+}
+
+func TestDCC32MatchesTableIII(t *testing.T) {
+	vs, vo := runUM(t, platform.Vayu(), 32, 0)
+	ds, do := runUM(t, platform.DCC(), 32, 0)
+	t.Logf("dcc np=32: total=%.0f io=%.1f comm%%=%.1f", ds.Total, ds.IO, do.Profile.CommPercent())
+	// Table III: DCC time 624 s, rcomp 1.37, rcomm 6.71, %comm 42, I/O 37.8.
+	if ds.Total < 480 || ds.Total > 800 {
+		t.Errorf("DCC total = %.0f s, want ~624", ds.Total)
+	}
+	if ds.IO < 30 || ds.IO > 46 {
+		t.Errorf("DCC I/O = %.1f s, want ~37.8", ds.IO)
+	}
+	rcomp := do.Profile.Comp.Sum() / vo.Profile.Comp.Sum()
+	if rcomp < 1.2 || rcomp > 1.6 {
+		t.Errorf("rcomp DCC/Vayu = %.2f, want ~1.37", rcomp)
+	}
+	rcomm := do.Profile.Comm.Sum() / vo.Profile.Comm.Sum()
+	t.Logf("rcomp=%.2f rcomm=%.2f", rcomp, rcomm)
+	if rcomm < 3 || rcomm > 12 {
+		t.Errorf("rcomm DCC/Vayu = %.2f, want ~6.7", rcomm)
+	}
+	if pc := do.Profile.CommPercent(); pc < 28 || pc > 55 {
+		t.Errorf("DCC %%comm = %.1f, want ~42", pc)
+	}
+	_ = vs
+}
+
+func TestEC232OversubscriptionMatchesTableIII(t *testing.T) {
+	vs, vo := runUM(t, platform.Vayu(), 32, 0)
+	// EC2 at 32 on 2 nodes (16/node, HyperThreading oversubscribed).
+	es, eo := runUM(t, platform.EC2(), 32, 2)
+	// EC2-4: same job spread over 4 nodes (8/node).
+	fs, fo := runUM(t, platform.EC2(), 32, 4)
+	t.Logf("ec2 np=32/2n: total=%.0f comm%%=%.1f io=%.1f", es.Total, eo.Profile.CommPercent(), es.IO)
+	t.Logf("ec2-4 np=32/4n: total=%.0f comm%%=%.1f io=%.1f", fs.Total, fo.Profile.CommPercent(), fs.IO)
+
+	// Table III: EC2 770 s (rcomp 2.39), EC2-4 380 s (rcomp 1.17);
+	// "using 4 nodes versus two is almost twice as fast".
+	if es.Total < 600 || es.Total > 950 {
+		t.Errorf("EC2 total = %.0f s, want ~770", es.Total)
+	}
+	if fs.Total < 300 || fs.Total > 480 {
+		t.Errorf("EC2-4 total = %.0f s, want ~380", fs.Total)
+	}
+	if ratio := es.Total / fs.Total; ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("EC2/EC2-4 ratio = %.2f, want ~2", ratio)
+	}
+	rcompPacked := eo.Profile.Comp.Sum() / vo.Profile.Comp.Sum()
+	rcompSpread := fo.Profile.Comp.Sum() / vo.Profile.Comp.Sum()
+	t.Logf("rcomp packed=%.2f spread=%.2f", rcompPacked, rcompSpread)
+	if rcompPacked < 2.0 || rcompPacked > 2.8 {
+		t.Errorf("EC2 rcomp = %.2f, want ~2.39", rcompPacked)
+	}
+	if rcompSpread < 1.05 || rcompSpread > 1.35 {
+		t.Errorf("EC2-4 rcomp = %.2f, want ~1.17", rcompSpread)
+	}
+	_ = vs
+}
+
+func TestFig6ScalingShape(t *testing.T) {
+	// Speedups over 8 cores: Vayu near-linear, DCC lower, EC2 poor.
+	speedup := func(p *platform.Platform, nodes64 func(np int) int) map[int]float64 {
+		times := map[int]float64{}
+		for _, np := range []int{8, 16, 32, 64} {
+			s, _ := runUM(t, p, np, nodes64(np))
+			times[np] = s.Warmed
+		}
+		sp, err := core.Speedup(times, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sp
+	}
+	auto := func(int) int { return 0 }
+	v := speedup(platform.Vayu(), auto)
+	d := speedup(platform.DCC(), auto)
+	e := speedup(platform.EC2(), auto)
+	t.Logf("speedup@64: vayu=%.1f dcc=%.1f ec2=%.1f", v[64], d[64], e[64])
+	if v[64] < 5.5 {
+		t.Errorf("Vayu speedup at 64 = %.1f, want near-linear (~8)", v[64])
+	}
+	if d[64] >= v[64] {
+		t.Errorf("DCC speedup %.1f should trail Vayu %.1f", d[64], v[64])
+	}
+	if e[32] >= v[32] {
+		t.Errorf("EC2 speedup %.1f at 32 should trail Vayu %.1f", e[32], v[32])
+	}
+}
+
+func TestWarmupExcluded(t *testing.T) {
+	s, _ := runUM(t, platform.Vayu(), 16, 0)
+	if s.Warmed >= s.Total {
+		t.Fatalf("warmed time %.0f should be below total %.0f", s.Warmed, s.Total)
+	}
+	if s.Warmed < 0.5*s.Total {
+		t.Fatalf("warmed time %.0f implausibly small vs total %.0f", s.Warmed, s.Total)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	cfg := Default()
+	cfg.Warmup = cfg.Steps
+	_, err := mpi.RunOn(platform.Vayu(), 4, func(c *mpi.Comm) error {
+		_, err := Run(c, cfg)
+		return err
+	})
+	if err == nil {
+		t.Fatal("warmup >= steps should fail")
+	}
+}

@@ -1,0 +1,167 @@
+package arrive
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Spot-market support: the paper's Section VI closes with "we plan to
+// integrate Amazon EC2 spot-pricing into our local ANUPBS scheduler, to
+// avail of price competitive compute resources". This file implements
+// that step: a deterministic spot-price process (mean-reverting around a
+// fraction of the on-demand price, with demand spikes), and a job runner
+// with bid/outbid/checkpoint-restart semantics so schedulers can weigh
+// cost against completion risk.
+
+// SpotMarket generates a deterministic hourly price path for one instance
+// type.
+type SpotMarket struct {
+	OnDemand float64 // $ per node-hour (cc1.4xlarge was $1.60 in 2011)
+	Mean     float64 // long-run spot mean, $/node-hour
+	Floor    float64
+	Sigma    float64 // hourly volatility, $
+	SpikeP   float64 // probability of a demand spike in any hour
+	SpikeMul float64 // spike price multiplier over on-demand
+
+	seed uint64
+}
+
+// NewSpotMarket returns the 2011-era cc1.4xlarge market model: spot
+// hovering around 35% of on-demand with occasional spikes above it.
+func NewSpotMarket(seed uint64) *SpotMarket {
+	return &SpotMarket{
+		OnDemand: 1.60,
+		Mean:     0.56,
+		Floor:    0.30,
+		Sigma:    0.08,
+		SpikeP:   0.02,
+		SpikeMul: 1.5,
+		seed:     seed,
+	}
+}
+
+// Price returns the spot price during hour h (deterministic in seed and
+// h: the whole path up to h is replayed).
+func (m *SpotMarket) Price(h int) float64 {
+	if h < 0 {
+		h = 0
+	}
+	rng := sim.NewRNG(m.seed).Derive(0x5907)
+	p := m.Mean
+	for i := 0; i <= h; i++ {
+		// Mean reversion plus noise.
+		p += 0.3*(m.Mean-p) + m.Sigma*rng.Normal()
+		if rng.Float64() < m.SpikeP {
+			p = m.OnDemand * m.SpikeMul * (1 + 0.3*rng.Float64())
+		}
+		if p < m.Floor {
+			p = m.Floor
+		}
+	}
+	return p
+}
+
+// SpotOutcome summarises one spot execution attempt.
+type SpotOutcome struct {
+	Completed     bool
+	Interruptions int
+	WallHours     float64 // submission to completion, including waits
+	ComputeHours  float64 // billed node-hours
+	Cost          float64 // spot bill, $
+	OnDemandCost  float64 // what the same job costs on demand, $
+	Savings       float64 // 1 - Cost/OnDemandCost (negative = more expensive)
+}
+
+// SpotRun executes a job of `hours` node-hours-per-node duration on
+// `nodes` spot instances with the given bid: the job runs in hours where
+// the spot price is at or below the bid, is interrupted (losing progress
+// back to the last checkpoint) when outbid, and resumes when the price
+// recovers. checkpointHours of 0 means no checkpointing: every
+// interruption restarts from zero. maxHours bounds the attempt.
+func (m *SpotMarket) SpotRun(hours float64, nodes int, bid, checkpointHours, maxHours float64) (SpotOutcome, error) {
+	if hours <= 0 || nodes <= 0 {
+		return SpotOutcome{}, fmt.Errorf("arrive: spot job needs positive size")
+	}
+	if bid <= 0 {
+		return SpotOutcome{}, fmt.Errorf("arrive: bid must be positive")
+	}
+	if maxHours <= 0 {
+		maxHours = 24 * 14
+	}
+	out := SpotOutcome{OnDemandCost: hours * float64(nodes) * m.OnDemand}
+
+	progress := 0.0   // completed node-local hours
+	checkpoint := 0.0 // durable progress
+	running := false
+	for h := 0; float64(h) < maxHours; h++ {
+		price := m.Price(h)
+		if price <= bid {
+			if !running && out.ComputeHours > 0 {
+				// Resuming after an interruption: restart from checkpoint.
+				progress = checkpoint
+			}
+			running = true
+			// One hour of execution on all nodes.
+			step := math.Min(1, hours-progress)
+			progress += step
+			out.ComputeHours += step * float64(nodes)
+			out.Cost += step * float64(nodes) * price
+			if checkpointHours > 0 {
+				// Durable progress advances in checkpoint quanta.
+				checkpoint = math.Floor(progress/checkpointHours) * checkpointHours
+			}
+			if progress >= hours {
+				out.Completed = true
+				out.WallHours = float64(h) + 1
+				break
+			}
+		} else if running {
+			running = false
+			out.Interruptions++
+			if checkpointHours <= 0 {
+				checkpoint = 0
+			}
+		}
+	}
+	if !out.Completed {
+		out.WallHours = maxHours
+	}
+	if out.OnDemandCost > 0 {
+		out.Savings = 1 - out.Cost/out.OnDemandCost
+	}
+	return out, nil
+}
+
+// BestBid sweeps candidate bids between the market floor and the
+// on-demand price and returns the cheapest bid that completes the job
+// within maxHours (falling back to the most reliable bid when none
+// completes).
+func (m *SpotMarket) BestBid(hours float64, nodes int, checkpointHours, maxHours float64) (float64, SpotOutcome, error) {
+	bestBid := 0.0
+	var best SpotOutcome
+	found := false
+	for bid := m.Floor; bid <= m.OnDemand*1.05; bid += 0.05 {
+		out, err := m.SpotRun(hours, nodes, bid, checkpointHours, maxHours)
+		if err != nil {
+			return 0, SpotOutcome{}, err
+		}
+		better := false
+		switch {
+		case out.Completed && (!found || !best.Completed):
+			better = true
+		case out.Completed == best.Completed && out.Cost < best.Cost && found:
+			better = out.Completed // only compare costs among completing bids
+		case !found:
+			better = true
+		}
+		if better {
+			bestBid, best, found = bid, out, true
+		}
+	}
+	if !found {
+		return 0, SpotOutcome{}, fmt.Errorf("arrive: no viable bid")
+	}
+	return bestBid, best, nil
+}

@@ -1,0 +1,140 @@
+package arrive
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSpotPriceDeterministic(t *testing.T) {
+	a, b := NewSpotMarket(7), NewSpotMarket(7)
+	for h := 0; h < 200; h += 17 {
+		if a.Price(h) != b.Price(h) {
+			t.Fatalf("price path not deterministic at hour %d", h)
+		}
+	}
+	c := NewSpotMarket(8)
+	same := 0
+	for h := 0; h < 100; h++ {
+		if a.Price(h) == c.Price(h) {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Fatal("different seeds should give different paths")
+	}
+}
+
+func TestSpotPriceBounds(t *testing.T) {
+	m := NewSpotMarket(3)
+	prop := func(hRaw uint16) bool {
+		p := m.Price(int(hRaw % 2000))
+		return p >= m.Floor && p <= m.OnDemand*m.SpikeMul*1.3+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpotPriceUsuallyBelowOnDemand(t *testing.T) {
+	m := NewSpotMarket(11)
+	below := 0
+	const n = 500
+	for h := 0; h < n; h++ {
+		if m.Price(h) < m.OnDemand {
+			below++
+		}
+	}
+	if frac := float64(below) / n; frac < 0.85 {
+		t.Fatalf("spot below on-demand only %.0f%% of hours, want mostly", frac*100)
+	}
+}
+
+func TestSpotRunHighBidCompletesCheaply(t *testing.T) {
+	m := NewSpotMarket(5)
+	out, err := m.SpotRun(24, 4, m.OnDemand*1.6, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Completed {
+		t.Fatalf("bid above all spikes should complete: %+v", out)
+	}
+	if out.Savings <= 0.3 {
+		t.Fatalf("spot savings = %.2f, want substantial (>0.3)", out.Savings)
+	}
+	if out.Cost >= out.OnDemandCost {
+		t.Fatal("spot should cost less than on-demand")
+	}
+}
+
+func TestSpotRunLowBidInterrupted(t *testing.T) {
+	m := NewSpotMarket(5)
+	// A bid barely above the floor gets outbid often.
+	low, err := m.SpotRun(48, 2, m.Floor+0.02, 1, 24*10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := m.SpotRun(48, 2, m.OnDemand*1.6, 1, 24*10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Interruptions <= high.Interruptions {
+		t.Fatalf("low bid should be interrupted more: %d vs %d", low.Interruptions, high.Interruptions)
+	}
+	if low.Completed && low.WallHours <= high.WallHours {
+		t.Fatal("low bid cannot finish sooner than high bid")
+	}
+}
+
+func TestCheckpointingLimitsLostWork(t *testing.T) {
+	m := NewSpotMarket(13)
+	bid := m.Mean + 0.05 // interrupted now and then
+	with, err := m.SpotRun(40, 1, bid, 1, 24*14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := m.SpotRun(40, 1, bid, 0, 24*14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Interruptions == 0 {
+		t.Skip("seed produced no interruptions at this bid")
+	}
+	// No checkpoints => restarts from zero => at least as many billed
+	// hours (usually far more) and no earlier completion.
+	if without.ComputeHours < with.ComputeHours {
+		t.Fatalf("checkpoint-free run billed fewer hours: %v vs %v", without.ComputeHours, with.ComputeHours)
+	}
+	if without.Completed && !with.Completed {
+		t.Fatal("checkpointing should not hurt completion")
+	}
+}
+
+func TestSpotRunValidation(t *testing.T) {
+	m := NewSpotMarket(1)
+	if _, err := m.SpotRun(0, 1, 1, 1, 0); err == nil {
+		t.Fatal("zero-hour job should fail")
+	}
+	if _, err := m.SpotRun(1, 0, 1, 1, 0); err == nil {
+		t.Fatal("zero nodes should fail")
+	}
+	if _, err := m.SpotRun(1, 1, 0, 1, 0); err == nil {
+		t.Fatal("zero bid should fail")
+	}
+}
+
+func TestBestBidCompletesAndSaves(t *testing.T) {
+	m := NewSpotMarket(21)
+	bid, out, err := m.BestBid(24, 4, 1, 24*7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Completed {
+		t.Fatalf("best bid %v did not complete: %+v", bid, out)
+	}
+	if bid <= 0 || bid > m.OnDemand*1.05+1e-9 {
+		t.Fatalf("bid out of range: %v", bid)
+	}
+	if out.Savings <= 0 {
+		t.Fatalf("best bid should save money: %+v", out)
+	}
+}

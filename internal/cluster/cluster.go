@@ -1,0 +1,162 @@
+// Package cluster maps MPI ranks onto the nodes of a platform and checks
+// resource feasibility (slot counts, per-node memory).
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+)
+
+// Policy selects how ranks are laid out across nodes.
+type Policy int
+
+const (
+	// Block fills each node's slots before moving to the next node (the
+	// default MPI behaviour on all three platforms in the paper).
+	Block Policy = iota
+	// Spread distributes ranks round-robin across the chosen node count,
+	// used for the paper's "EC2-4" runs where processes were evenly
+	// distributed over 4 nodes.
+	Spread
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case Spread:
+		return "spread"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Placement is an immutable assignment of np ranks to nodes.
+type Placement struct {
+	NP           int
+	Nodes        int   // number of distinct nodes used
+	NodeOf       []int // rank -> node index
+	RanksPerNode []int // node index -> rank count
+}
+
+// Spec describes a placement request.
+type Spec struct {
+	NP     int
+	Policy Policy
+	// Nodes forces the number of nodes used (0 = minimum required for
+	// Block, all needed for Spread). The paper's EC2-4 runs set Nodes=4.
+	Nodes int
+	// MemPerRank, when non-zero, is the per-rank memory requirement in
+	// bytes, checked against the platform's per-node capacity.
+	MemPerRank int64
+}
+
+// Place computes a placement of spec.NP ranks on p, or an error when the
+// request does not fit.
+func Place(p *platform.Platform, spec Spec) (*Placement, error) {
+	if spec.NP <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one rank, got %d", spec.NP)
+	}
+	slots := p.SlotsPerNode()
+	minNodes := (spec.NP + slots - 1) / slots
+	nodes := spec.Nodes
+	if nodes == 0 {
+		nodes = minNodes
+	}
+	if nodes < minNodes {
+		return nil, fmt.Errorf("cluster: %d ranks need at least %d nodes of %s (%d slots/node), got %d",
+			spec.NP, minNodes, p.Name, slots, nodes)
+	}
+	if nodes > p.Nodes {
+		return nil, fmt.Errorf("cluster: %s has %d nodes, placement needs %d", p.Name, p.Nodes, nodes)
+	}
+	if nodes > spec.NP {
+		nodes = spec.NP
+	}
+
+	pl := &Placement{
+		NP:           spec.NP,
+		Nodes:        nodes,
+		NodeOf:       make([]int, spec.NP),
+		RanksPerNode: make([]int, nodes),
+	}
+	switch spec.Policy {
+	case Block:
+		// Fill slots evenly when the rank count does not divide: nodes get
+		// ceil/floor contiguous chunks, matching per-node process counts of
+		// typical hostfile placement.
+		base := spec.NP / nodes
+		extra := spec.NP % nodes
+		r := 0
+		for n := 0; n < nodes; n++ {
+			cnt := base
+			if n < extra {
+				cnt++
+			}
+			for i := 0; i < cnt; i++ {
+				pl.NodeOf[r] = n
+				r++
+			}
+			pl.RanksPerNode[n] = cnt
+		}
+	case Spread:
+		for r := 0; r < spec.NP; r++ {
+			n := r % nodes
+			pl.NodeOf[r] = n
+			pl.RanksPerNode[n]++
+		}
+	default:
+		return nil, fmt.Errorf("cluster: unknown policy %v", spec.Policy)
+	}
+
+	for n, cnt := range pl.RanksPerNode {
+		if cnt > slots {
+			return nil, fmt.Errorf("cluster: node %d of %s would hold %d ranks but has %d slots",
+				n, p.Name, cnt, slots)
+		}
+	}
+	if spec.MemPerRank > 0 {
+		for n, cnt := range pl.RanksPerNode {
+			need := spec.MemPerRank * int64(cnt)
+			if need > p.MemPerNode {
+				return nil, fmt.Errorf("cluster: node %d of %s needs %.1f GB for %d ranks but has %.1f GB",
+					n, p.Name, float64(need)/(1<<30), cnt, float64(p.MemPerNode)/(1<<30))
+			}
+		}
+	}
+	return pl, nil
+}
+
+// SameNode reports whether ranks a and b share a node.
+func (pl *Placement) SameNode(a, b int) bool {
+	return pl.NodeOf[a] == pl.NodeOf[b]
+}
+
+// MaxRanksPerNode returns the highest per-node rank count.
+func (pl *Placement) MaxRanksPerNode() int {
+	m := 0
+	for _, c := range pl.RanksPerNode {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// MinNodesFor returns the fewest nodes of p able to hold np ranks each
+// needing memPerRank bytes, considering both slots and memory, or an error
+// when the platform cannot hold the job at all. This reproduces the paper's
+// MetUM-on-EC2 constraint, where 20 GB nodes forced ≥2 nodes (and 3 nodes
+// for 24 processes).
+func MinNodesFor(p *platform.Platform, np int, memPerRank int64) (int, error) {
+	slots := p.SlotsPerNode()
+	for nodes := (np + slots - 1) / slots; nodes <= p.Nodes; nodes++ {
+		maxPerNode := (np + nodes - 1) / nodes
+		if memPerRank*int64(maxPerNode) <= p.MemPerNode {
+			return nodes, nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: %s cannot hold %d ranks of %.1f GB each",
+		p.Name, np, float64(memPerRank)/(1<<30))
+}

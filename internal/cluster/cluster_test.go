@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/platform"
+)
+
+func TestBlockPlacementFillsNodes(t *testing.T) {
+	p := platform.DCC() // 8 slots/node
+	pl, err := Place(p, Spec{NP: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Nodes != 2 {
+		t.Fatalf("nodes = %d, want 2", pl.Nodes)
+	}
+	for r := 0; r < 8; r++ {
+		if pl.NodeOf[r] != 0 {
+			t.Fatalf("rank %d on node %d, want 0", r, pl.NodeOf[r])
+		}
+	}
+	for r := 8; r < 16; r++ {
+		if pl.NodeOf[r] != 1 {
+			t.Fatalf("rank %d on node %d, want 1", r, pl.NodeOf[r])
+		}
+	}
+}
+
+func TestBlockPlacementSingleNode(t *testing.T) {
+	p := platform.Vayu()
+	pl, err := Place(p, Spec{NP: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Nodes != 1 || pl.MaxRanksPerNode() != 8 {
+		t.Fatalf("8 ranks should fill exactly one Vayu node, got %d nodes", pl.Nodes)
+	}
+}
+
+func TestEC2SixteenRanksOneNode(t *testing.T) {
+	// The paper: "the EC2 cluster drops in performance at 16 cores ... as
+	// each compute node on EC2 cluster has 16 cores" — 16 ranks must land
+	// on ONE node (oversubscribing the 8 physical cores).
+	p := platform.EC2()
+	pl, err := Place(p, Spec{NP: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Nodes != 1 {
+		t.Fatalf("16 ranks on EC2 use %d nodes, want 1", pl.Nodes)
+	}
+}
+
+func TestSpreadPlacement(t *testing.T) {
+	// The paper's EC2-4 configuration: processes evenly distributed
+	// across 4 nodes.
+	p := platform.EC2()
+	pl, err := Place(p, Spec{NP: 32, Policy: Spread, Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Nodes != 4 {
+		t.Fatalf("nodes = %d, want 4", pl.Nodes)
+	}
+	for n, cnt := range pl.RanksPerNode {
+		if cnt != 8 {
+			t.Fatalf("node %d holds %d ranks, want 8", n, cnt)
+		}
+	}
+}
+
+func TestPlacementErrors(t *testing.T) {
+	p := platform.DCC()
+	if _, err := Place(p, Spec{NP: 0}); err == nil {
+		t.Error("zero ranks should fail")
+	}
+	if _, err := Place(p, Spec{NP: 65}); err == nil {
+		t.Error("65 ranks on 64-slot DCC should fail")
+	}
+	if _, err := Place(p, Spec{NP: 32, Nodes: 2}); err == nil {
+		t.Error("32 ranks forced onto 2 DCC nodes (16 slots) should fail")
+	}
+	if _, err := Place(p, Spec{NP: 8, Nodes: 100}); err == nil {
+		t.Error("requesting more nodes than the platform has should fail")
+	}
+}
+
+func TestMemoryConstraint(t *testing.T) {
+	p := platform.EC2() // 20 GB/node
+	// 16 ranks x 2 GB = 32 GB on one node: must fail.
+	if _, err := Place(p, Spec{NP: 16, MemPerRank: 2 << 30}); err == nil {
+		t.Error("memory-oversubscribed placement should fail")
+	}
+	// Same job on 2 nodes fits (8 x 2 GB = 16 GB <= 20 GB).
+	if _, err := Place(p, Spec{NP: 16, MemPerRank: 2 << 30, Nodes: 2, Policy: Spread}); err != nil {
+		t.Errorf("2-node placement should fit: %v", err)
+	}
+}
+
+func TestMinNodesForReproducesMetUMConstraint(t *testing.T) {
+	// MetUM on EC2 "could not be run on fewer than 2 nodes (for 24
+	// processes, three nodes had to be used)". With a ~2.3 GB/rank model
+	// footprint on 20 GB nodes:
+	p := platform.EC2()
+	gib := float64(int64(1) << 30)
+	perRank := int64(2.3 * gib)
+	n16, err := MinNodesFor(p, 16, perRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n16 < 2 {
+		t.Errorf("16 ranks: min nodes = %d, want >= 2", n16)
+	}
+	n24, err := MinNodesFor(p, 24, perRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n24 != 3 {
+		t.Errorf("24 ranks: min nodes = %d, want 3", n24)
+	}
+	if _, err := MinNodesFor(p, 64, 21<<30); err == nil {
+		t.Error("job larger than any node should be infeasible")
+	}
+}
+
+func TestPlacementInvariants(t *testing.T) {
+	p := platform.Vayu()
+	prop := func(npRaw uint8, policyRaw bool) bool {
+		np := int(npRaw%64) + 1
+		pol := Block
+		if policyRaw {
+			pol = Spread
+		}
+		pl, err := Place(p, Spec{NP: np, Policy: pol})
+		if err != nil {
+			return false
+		}
+		// Every rank is mapped; per-node counts agree with the map; no
+		// node exceeds its slots.
+		counts := make([]int, pl.Nodes)
+		for r := 0; r < np; r++ {
+			n := pl.NodeOf[r]
+			if n < 0 || n >= pl.Nodes {
+				return false
+			}
+			counts[n]++
+		}
+		for n := range counts {
+			if counts[n] != pl.RanksPerNode[n] || counts[n] > p.SlotsPerNode() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSameNode(t *testing.T) {
+	p := platform.DCC()
+	pl, err := Place(p, Spec{NP: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.SameNode(0, 7) {
+		t.Error("ranks 0 and 7 should share node 0")
+	}
+	if pl.SameNode(7, 8) {
+		t.Error("ranks 7 and 8 should be on different nodes")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Block.String() != "block" || Spread.String() != "spread" {
+		t.Error("policy names wrong")
+	}
+	if Policy(9).String() == "" {
+		t.Error("unknown policy should still render")
+	}
+}

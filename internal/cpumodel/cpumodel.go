@@ -1,0 +1,141 @@
+// Package cpumodel provides a roofline-style model of per-core computation
+// cost on the studied platforms.
+//
+// A unit of work is described by its double-precision operation count and
+// the memory traffic it generates. The model converts work to virtual
+// seconds given the CPU's clock, issue width and memory bandwidth, and the
+// contention context (how many ranks share the node, whether the platform
+// masks NUMA from the guest, whether hardware threads are oversubscribed).
+package cpumodel
+
+import "fmt"
+
+// Work describes a charge of computation.
+type Work struct {
+	Flops float64 // floating point operations
+	Bytes float64 // memory traffic in bytes (streamed loads+stores)
+	Fixed float64 // fixed serial seconds, not scaled by CPU speed
+}
+
+// Add returns the element-wise sum of two work charges.
+func (w Work) Add(o Work) Work {
+	return Work{Flops: w.Flops + o.Flops, Bytes: w.Bytes + o.Bytes, Fixed: w.Fixed + o.Fixed}
+}
+
+// Scale returns the work multiplied by k (Fixed included).
+func (w Work) Scale(k float64) Work {
+	return Work{Flops: w.Flops * k, Bytes: w.Bytes * k, Fixed: w.Fixed * k}
+}
+
+// CPU describes one node's processor complex.
+type CPU struct {
+	Name          string
+	ClockHz       float64 // core clock
+	FlopsPerCycle float64 // peak DP flops per cycle per core
+	Efficiency    float64 // achieved fraction of peak for real codes (0,1]
+
+	Sockets        int
+	CoresPerSocket int
+	HyperThreading bool    // hardware threads exposed as schedulable slots
+	HTBonus        float64 // extra node throughput from using both HW threads (e.g. 0.15)
+
+	MemBWPerSocket float64 // sustained bytes/s per socket (all cores)
+	CoreMemBW      float64 // sustained bytes/s achievable by one core
+
+	// NUMAPenalty is the factor (<1) applied to effective memory bandwidth
+	// when ranks span sockets and the platform cannot pin memory (the
+	// "NUMA masked by the hypervisor" effect from the paper). 1 = no penalty.
+	NUMAPenalty float64
+}
+
+// PhysicalCores returns the number of physical cores per node.
+func (c *CPU) PhysicalCores() int { return c.Sockets * c.CoresPerSocket }
+
+// Slots returns the number of schedulable slots per node (2x cores when
+// HyperThreading is exposed).
+func (c *CPU) Slots() int {
+	if c.HyperThreading {
+		return 2 * c.PhysicalCores()
+	}
+	return c.PhysicalCores()
+}
+
+// Validate reports configuration errors.
+func (c *CPU) Validate() error {
+	switch {
+	case c.ClockHz <= 0:
+		return fmt.Errorf("cpumodel: %s: ClockHz must be positive", c.Name)
+	case c.FlopsPerCycle <= 0:
+		return fmt.Errorf("cpumodel: %s: FlopsPerCycle must be positive", c.Name)
+	case c.Efficiency <= 0 || c.Efficiency > 1:
+		return fmt.Errorf("cpumodel: %s: Efficiency must be in (0,1]", c.Name)
+	case c.Sockets <= 0 || c.CoresPerSocket <= 0:
+		return fmt.Errorf("cpumodel: %s: need positive sockets and cores", c.Name)
+	case c.MemBWPerSocket <= 0 || c.CoreMemBW <= 0:
+		return fmt.Errorf("cpumodel: %s: memory bandwidths must be positive", c.Name)
+	case c.NUMAPenalty <= 0 || c.NUMAPenalty > 1:
+		return fmt.Errorf("cpumodel: %s: NUMAPenalty must be in (0,1]", c.Name)
+	}
+	return nil
+}
+
+// Context describes the contention environment of the rank being charged.
+type Context struct {
+	RanksOnNode int  // ranks co-located on this rank's node (including it)
+	NUMAPinned  bool // true when the MPI runtime enforces NUMA affinity
+}
+
+// FlopsRate returns the effective DP flops/s available to one rank under
+// the given context, accounting for hardware-thread oversubscription.
+func (c *CPU) FlopsRate(ctx Context) float64 {
+	rate := c.ClockHz * c.FlopsPerCycle * c.Efficiency
+	phys := c.PhysicalCores()
+	if ctx.RanksOnNode > phys {
+		// Oversubscribed: the node delivers phys*(1+HTBonus) cores worth of
+		// throughput, divided evenly among the ranks.
+		over := float64(ctx.RanksOnNode-phys) / float64(phys)
+		if over > 1 {
+			over = 1
+		}
+		total := float64(phys) * (1 + c.HTBonus*over)
+		rate *= total / float64(ctx.RanksOnNode)
+	}
+	return rate
+}
+
+// MemRate returns the effective memory bandwidth (bytes/s) available to one
+// rank under the given context, accounting for bandwidth sharing and the
+// NUMA-masking penalty.
+func (c *CPU) MemRate(ctx Context) float64 {
+	nodeBW := float64(c.Sockets) * c.MemBWPerSocket
+	n := ctx.RanksOnNode
+	if n < 1 {
+		n = 1
+	}
+	per := nodeBW / float64(n)
+	if per > c.CoreMemBW {
+		per = c.CoreMemBW
+	}
+	// When ranks span sockets and nothing pins memory, a fraction of
+	// accesses cross the interconnect between sockets.
+	if !ctx.NUMAPinned && c.Sockets > 1 && n > c.CoresPerSocket {
+		per *= c.NUMAPenalty
+	}
+	return per
+}
+
+// Seconds converts a work charge to virtual seconds for one rank under the
+// given contention context, using the roofline maximum of compute-bound and
+// memory-bound time.
+func (c *CPU) Seconds(w Work, ctx Context) float64 {
+	var t float64
+	if w.Flops > 0 {
+		t = w.Flops / c.FlopsRate(ctx)
+	}
+	if w.Bytes > 0 {
+		if mt := w.Bytes / c.MemRate(ctx); mt > t {
+			t = mt
+		}
+	}
+	return t + w.Fixed
+}

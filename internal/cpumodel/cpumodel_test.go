@@ -1,0 +1,188 @@
+package cpumodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testCPU() CPU {
+	return CPU{
+		Name:           "test",
+		ClockHz:        2e9,
+		FlopsPerCycle:  4,
+		Efficiency:     0.5,
+		Sockets:        2,
+		CoresPerSocket: 4,
+		HyperThreading: true,
+		HTBonus:        0.2,
+		MemBWPerSocket: 16e9,
+		CoreMemBW:      8e9,
+		NUMAPenalty:    0.6,
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	c := testCPU()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadFields(t *testing.T) {
+	cases := []func(*CPU){
+		func(c *CPU) { c.ClockHz = 0 },
+		func(c *CPU) { c.FlopsPerCycle = -1 },
+		func(c *CPU) { c.Efficiency = 0 },
+		func(c *CPU) { c.Efficiency = 1.5 },
+		func(c *CPU) { c.Sockets = 0 },
+		func(c *CPU) { c.CoresPerSocket = 0 },
+		func(c *CPU) { c.MemBWPerSocket = 0 },
+		func(c *CPU) { c.CoreMemBW = 0 },
+		func(c *CPU) { c.NUMAPenalty = 0 },
+		func(c *CPU) { c.NUMAPenalty = 1.1 },
+	}
+	for i, mut := range cases {
+		c := testCPU()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid CPU passed validation", i)
+		}
+	}
+}
+
+func TestSlotsAndCores(t *testing.T) {
+	c := testCPU()
+	if c.PhysicalCores() != 8 {
+		t.Fatalf("cores = %d, want 8", c.PhysicalCores())
+	}
+	if c.Slots() != 16 {
+		t.Fatalf("slots = %d, want 16 with HT", c.Slots())
+	}
+	c.HyperThreading = false
+	if c.Slots() != 8 {
+		t.Fatalf("slots = %d, want 8 without HT", c.Slots())
+	}
+}
+
+func TestFlopsRateFullWhenNotOversubscribed(t *testing.T) {
+	c := testCPU()
+	want := 2e9 * 4 * 0.5
+	for _, n := range []int{1, 4, 8} {
+		got := c.FlopsRate(Context{RanksOnNode: n})
+		if got != want {
+			t.Fatalf("FlopsRate(%d ranks) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestFlopsRateOversubscription(t *testing.T) {
+	c := testCPU()
+	full := c.FlopsRate(Context{RanksOnNode: 8})
+	half := c.FlopsRate(Context{RanksOnNode: 16})
+	// At 16 ranks on 8 cores with HTBonus 0.2, node throughput is 9.6
+	// cores' worth: per-rank 9.6/16 = 0.6 of a core.
+	if ratio := half / full; math.Abs(ratio-0.6) > 1e-9 {
+		t.Fatalf("per-rank rate ratio at 2x oversubscription = %v, want 0.6", ratio)
+	}
+	// The paper: "little benefit was gained from hyperthreading" — node
+	// throughput must improve by far less than 2x.
+	nodeFull := 8 * full
+	nodeOver := 16 * half
+	if gain := nodeOver / nodeFull; gain > 1.25 {
+		t.Fatalf("HT node throughput gain = %v, should be modest", gain)
+	}
+}
+
+func TestMemRateSharing(t *testing.T) {
+	c := testCPU()
+	one := c.MemRate(Context{RanksOnNode: 1, NUMAPinned: true})
+	if one != c.CoreMemBW {
+		t.Fatalf("single-rank mem rate %v should be capped at CoreMemBW %v", one, c.CoreMemBW)
+	}
+	eight := c.MemRate(Context{RanksOnNode: 8, NUMAPinned: true})
+	if want := 32e9 / 8; eight != want {
+		t.Fatalf("8-rank mem rate = %v, want %v", eight, want)
+	}
+}
+
+func TestMemRateNUMAMasking(t *testing.T) {
+	c := testCPU()
+	pinned := c.MemRate(Context{RanksOnNode: 8, NUMAPinned: true})
+	masked := c.MemRate(Context{RanksOnNode: 8, NUMAPinned: false})
+	if ratio := masked / pinned; math.Abs(ratio-0.6) > 1e-9 {
+		t.Fatalf("NUMA masking ratio = %v, want NUMAPenalty 0.6", ratio)
+	}
+	// Within one socket no penalty applies even unpinned.
+	within := c.MemRate(Context{RanksOnNode: 4, NUMAPinned: false})
+	if within != c.MemRate(Context{RanksOnNode: 4, NUMAPinned: true}) {
+		t.Fatal("NUMA penalty applied within a single socket")
+	}
+}
+
+func TestSecondsRoofline(t *testing.T) {
+	c := testCPU()
+	ctx := Context{RanksOnNode: 1, NUMAPinned: true}
+	// Compute-bound: 4e9 flops at 4e9 flops/s = 1 s.
+	if got := c.Seconds(Work{Flops: 4e9}, ctx); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("compute-bound seconds = %v, want 1", got)
+	}
+	// Memory-bound: 16e9 bytes at 8e9 B/s = 2 s, dominating tiny flops.
+	if got := c.Seconds(Work{Flops: 1e6, Bytes: 16e9}, ctx); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("memory-bound seconds = %v, want 2", got)
+	}
+	// Fixed time adds on top.
+	if got := c.Seconds(Work{Fixed: 0.25}, ctx); got != 0.25 {
+		t.Fatalf("fixed seconds = %v, want 0.25", got)
+	}
+}
+
+func TestWorkAddScale(t *testing.T) {
+	w := Work{Flops: 1, Bytes: 2, Fixed: 3}.Add(Work{Flops: 10, Bytes: 20, Fixed: 30})
+	if w != (Work{Flops: 11, Bytes: 22, Fixed: 33}) {
+		t.Fatalf("Add = %+v", w)
+	}
+	s := w.Scale(2)
+	if s != (Work{Flops: 22, Bytes: 44, Fixed: 66}) {
+		t.Fatalf("Scale = %+v", s)
+	}
+}
+
+func TestSecondsMonotoneInWork(t *testing.T) {
+	c := testCPU()
+	ctx := Context{RanksOnNode: 4, NUMAPinned: false}
+	f := func(flops, bytes uint32) bool {
+		w1 := Work{Flops: float64(flops), Bytes: float64(bytes)}
+		w2 := Work{Flops: float64(flops) * 2, Bytes: float64(bytes) * 2}
+		return c.Seconds(w2, ctx) >= c.Seconds(w1, ctx)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSecondsNonNegativeProperty(t *testing.T) {
+	c := testCPU()
+	f := func(flops, bytes uint32, ranks uint8) bool {
+		ctx := Context{RanksOnNode: int(ranks%32) + 1}
+		return c.Seconds(Work{Flops: float64(flops), Bytes: float64(bytes)}, ctx) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClockRatioDrivesComputeRatio(t *testing.T) {
+	// The paper's Table III: DCC/Vayu compute ratio tracks the clock ratio
+	// 2.93/2.27 ≈ 1.29 for compute-bound sections.
+	fast := testCPU()
+	fast.ClockHz = 2.93e9
+	slow := testCPU()
+	slow.ClockHz = 2.27e9
+	ctx := Context{RanksOnNode: 1, NUMAPinned: true}
+	w := Work{Flops: 1e10}
+	ratio := slow.Seconds(w, ctx) / fast.Seconds(w, ctx)
+	if math.Abs(ratio-2.93/2.27) > 1e-9 {
+		t.Fatalf("compute ratio = %v, want %v", ratio, 2.93/2.27)
+	}
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/npb"
+	"repro/internal/npb/suite"
+	"repro/internal/osu"
+	"repro/internal/platform"
+)
+
+// Check is one machine-verifiable claim from the paper.
+type Check struct {
+	ID     string // experiment id, e.g. "E1"
+	Claim  string // the paper's statement being tested
+	Passed bool
+	Detail string // measured values
+}
+
+// ratio helpers for readable detail strings.
+func between(v, lo, hi float64) bool { return v >= lo && v <= hi }
+
+// RunChecks evaluates the reproduction's headline claims against the
+// paper and returns one result per claim. It is the programmatic core of
+// `cmd/repro -check`.
+func RunChecks() ([]Check, error) {
+	var checks []Check
+	add := func(id, claim string, passed bool, detail string, args ...any) {
+		checks = append(checks, Check{ID: id, Claim: claim, Passed: passed,
+			Detail: fmt.Sprintf(detail, args...)})
+	}
+
+	// E1: bandwidth peaks and ordering.
+	bw := map[string]float64{}
+	for _, p := range platform.All() {
+		pts, err := osu.Bandwidth(p, []int{4 << 20})
+		if err != nil {
+			return nil, err
+		}
+		bw[p.Name] = pts[0].Value
+	}
+	add("E1", "OSU peak bandwidth ~3200/560/190 MB/s (vayu/ec2/dcc)",
+		between(bw["vayu"], 2900, 3500) && between(bw["ec2"], 500, 620) && between(bw["dcc"], 170, 210),
+		"vayu=%.0f ec2=%.0f dcc=%.0f MB/s", bw["vayu"], bw["ec2"], bw["dcc"])
+
+	// E2: latency ordering and DCC fluctuation.
+	lat := map[string]float64{}
+	for _, p := range platform.All() {
+		pts, err := osu.Latency(p, []int{1})
+		if err != nil {
+			return nil, err
+		}
+		lat[p.Name] = pts[0].Value * 1e6
+	}
+	add("E2", "1-byte latency: vayu microseconds << ec2 << dcc",
+		lat["vayu"] < 5 && lat["vayu"] < lat["ec2"] && lat["ec2"] < lat["dcc"],
+		"vayu=%.1f ec2=%.1f dcc=%.1f us", lat["vayu"], lat["ec2"], lat["dcc"])
+
+	// E3: serial calibration against Figure 3's DCC walltimes.
+	fig3 := map[string]float64{"bt": 1696.9, "ep": 141.5, "cg": 244.9, "ft": 327.6,
+		"is": 8.6, "lu": 1514.7, "mg": 72.0, "sp": 1936.1}
+	worst := 0.0
+	for name, want := range fig3 {
+		got, err := runSkeleton(name, platform.DCC(), 1, npb.ClassB)
+		if err != nil {
+			return nil, err
+		}
+		rel := got/want - 1
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > worst {
+			worst = rel
+		}
+	}
+	add("E3", "NPB class B serial DCC walltimes within 10% of Figure 3",
+		worst < 0.10, "worst relative error %.1f%%", worst*100)
+
+	// E4: scaling crossovers.
+	epVayu64, err := speedupAt("ep", platform.Vayu(), 64)
+	if err != nil {
+		return nil, err
+	}
+	add("E4a", "EP near-linear on vayu", epVayu64 > 50, "speedup@64 = %.1f", epVayu64)
+	ftDCC64, err := speedupAt("ft", platform.DCC(), 64)
+	if err != nil {
+		return nil, err
+	}
+	ftVayu64, err := speedupAt("ft", platform.Vayu(), 64)
+	if err != nil {
+		return nil, err
+	}
+	add("E4b", "FT: vayu almost linear, dcc poor", ftVayu64 > 40 && ftDCC64 < 10,
+		"vayu=%.1f dcc=%.1f", ftVayu64, ftDCC64)
+	isBest := 0.0
+	for _, p := range platform.All() {
+		s, err := speedupAt("is", p, 64)
+		if err != nil {
+			return nil, err
+		}
+		if s > isBest {
+			isBest = s
+		}
+	}
+	add("E4c", "IS does not scale well on any cluster", isBest < 32, "best speedup@64 = %.1f", isBest)
+	cgD8, err := speedupAt("cg", platform.DCC(), 8)
+	if err != nil {
+		return nil, err
+	}
+	cgV8, err := speedupAt("cg", platform.Vayu(), 8)
+	if err != nil {
+		return nil, err
+	}
+	add("E4d", "CG speedup dips at 8 on DCC (NUMA masking)", cgD8 < 0.8*cgV8,
+		"dcc=%.1f vayu=%.1f at np=8", cgD8, cgV8)
+
+	// E5: Table II %comm at np=64.
+	commAt := func(kernel string, p *platform.Platform) (float64, error) {
+		fn, err := suite.Skeleton(kernel)
+		if err != nil {
+			return 0, err
+		}
+		out, err := core.Execute(core.RunSpec{Platform: p, NP: 64}, func(c *mpi.Comm) error {
+			return fn(c, npb.ClassB)
+		})
+		if err != nil {
+			return 0, err
+		}
+		return out.Profile.CommPercent(), nil
+	}
+	isDCC, err := commAt("is", platform.DCC())
+	if err != nil {
+		return nil, err
+	}
+	cgVayu, err := commAt("cg", platform.Vayu())
+	if err != nil {
+		return nil, err
+	}
+	add("E5", "Table II: IS on DCC spends almost all walltime in comm at 64; vayu CG stays moderate",
+		isDCC > 85 && cgVayu < 30, "IS dcc=%.1f%% CG vayu=%.1f%%", isDCC, cgVayu)
+
+	// E7/E8: MetUM Table III ratios.
+	_, vo, err := umRun(platform.Vayu(), 32, 0)
+	if err != nil {
+		return nil, err
+	}
+	_, do, err := umRun(platform.DCC(), 32, 0)
+	if err != nil {
+		return nil, err
+	}
+	_, eo, err := umRun(platform.EC2(), 32, 2)
+	if err != nil {
+		return nil, err
+	}
+	_, fo, err := umRun(platform.EC2(), 32, 4)
+	if err != nil {
+		return nil, err
+	}
+	rcompD := do.Profile.Comp.Sum() / vo.Profile.Comp.Sum()
+	rcommD := do.Profile.Comm.Sum() / vo.Profile.Comm.Sum()
+	rcompE := eo.Profile.Comp.Sum() / vo.Profile.Comp.Sum()
+	rcompF := fo.Profile.Comp.Sum() / vo.Profile.Comp.Sum()
+	add("E8a", "Table III rcomp ~1.37 (dcc), ~2.39 (ec2), ~1.17 (ec2-4)",
+		between(rcompD, 1.25, 1.5) && between(rcompE, 2.1, 2.6) && between(rcompF, 1.1, 1.3),
+		"dcc=%.2f ec2=%.2f ec2-4=%.2f", rcompD, rcompE, rcompF)
+	add("E8b", "Table III rcomm ~6.7 (dcc)", between(rcommD, 5, 8.5), "rcomm=%.2f", rcommD)
+	add("E8c", "EC2-4 nearly twice as fast as EC2 at 32 cores",
+		between(eo.Time()/fo.Time(), 1.6, 2.4), "ratio=%.2f", eo.Time()/fo.Time())
+
+	// E10: Chaste 32-core prose.
+	_, cvo, err := chasteRun(platform.Vayu(), 32)
+	if err != nil {
+		return nil, err
+	}
+	_, cdo, err := chasteRun(platform.DCC(), 32)
+	if err != nil {
+		return nil, err
+	}
+	add("E10", "Chaste at 32: ~48% comm on DCC, ~11% on Vayu",
+		between(cdo.Profile.CommPercent(), 38, 58) && cvo.Profile.CommPercent() < 20,
+		"dcc=%.1f%% vayu=%.1f%%", cdo.Profile.CommPercent(), cvo.Profile.CommPercent())
+
+	return checks, nil
+}
+
+// speedupAt returns one kernel's class-B speedup at np over np=1.
+func speedupAt(kernel string, p *platform.Platform, np int) (float64, error) {
+	t1, err := runSkeleton(kernel, p, 1, npb.ClassB)
+	if err != nil {
+		return 0, err
+	}
+	tn, err := runSkeleton(kernel, p, np, npb.ClassB)
+	if err != nil {
+		return 0, err
+	}
+	return t1 / tn, nil
+}

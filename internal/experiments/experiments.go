@@ -1,0 +1,395 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section from the modelled platforms. Each function returns a
+// renderable artefact; cmd/repro writes them to disk and bench_test.go
+// exercises one per benchmark.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps/chaste"
+	"repro/internal/apps/metum"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ipm"
+	"repro/internal/mpi"
+	"repro/internal/npb"
+	"repro/internal/npb/suite"
+	"repro/internal/osu"
+	"repro/internal/platform"
+	"repro/internal/report"
+)
+
+// Fig1OSUBandwidth reproduces Figure 1: OSU point-to-point bandwidth
+// between two compute nodes on the three platforms.
+func Fig1OSUBandwidth(sizes []int) (*report.Figure, error) {
+	if sizes == nil {
+		sizes = osu.DefaultSizes()
+	}
+	fig := &report.Figure{
+		Title:  "Fig 1: OSU MPI bandwidth (MB/s) vs message size",
+		XLabel: "message bytes", YLabel: "MB/s", LogX: true, LogY: true,
+	}
+	for _, p := range platform.All() {
+		pts, err := osu.Bandwidth(p, sizes)
+		if err != nil {
+			return nil, err
+		}
+		s := &report.Series{Name: p.Name + " " + p.Inter.Name}
+		for _, pt := range pts {
+			s.Add(float64(pt.Bytes), pt.Value)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig2OSULatency reproduces Figure 2: OSU latency in microseconds.
+func Fig2OSULatency(sizes []int) (*report.Figure, error) {
+	if sizes == nil {
+		sizes = osu.DefaultSizes()
+	}
+	fig := &report.Figure{
+		Title:  "Fig 2: OSU MPI latency (microseconds) vs message size",
+		XLabel: "message bytes", YLabel: "us", LogX: true, LogY: true,
+	}
+	for _, p := range platform.All() {
+		pts, err := osu.Latency(p, sizes)
+		if err != nil {
+			return nil, err
+		}
+		s := &report.Series{Name: p.Name + " " + p.Inter.Name}
+		for _, pt := range pts {
+			s.Add(float64(pt.Bytes), pt.Value*1e6)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// runSkeleton executes one NPB skeleton and returns its virtual wall time.
+func runSkeleton(name string, p *platform.Platform, np int, class npb.Class) (float64, error) {
+	fn, err := suite.Skeleton(name)
+	if err != nil {
+		return 0, err
+	}
+	out, err := core.Execute(core.RunSpec{Platform: p, NP: np}, func(c *mpi.Comm) error {
+		return fn(c, class)
+	})
+	if err != nil {
+		return 0, fmt.Errorf("%s.%s.%d on %s: %w", name, class, np, p.Name, err)
+	}
+	return out.Time(), nil
+}
+
+// Fig3NPBSerial reproduces Figure 3: single-process class-B walltimes
+// normalised to DCC, with absolute DCC seconds.
+func Fig3NPBSerial() (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Fig 3: NPB class B serial times, normalised to DCC",
+		Headers: []string{"bench", "dcc (s)", "ec2 (norm)", "vayu (norm)"},
+	}
+	for _, name := range npb.Names() {
+		times := map[string]float64{}
+		for _, p := range platform.All() {
+			d, err := runSkeleton(name, p, 1, npb.ClassB)
+			if err != nil {
+				return nil, err
+			}
+			times[p.Name] = d
+		}
+		norm, err := core.Normalise(times, "dcc")
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(strings.ToUpper(name)+".B.1", times["dcc"], norm["ec2"], norm["vayu"])
+	}
+	return t, nil
+}
+
+// Fig4NPBScaling reproduces one panel of Figure 4: the speedup curve of a
+// kernel at class B on the three platforms, np up to 64.
+func Fig4NPBScaling(kernel string) (*report.Figure, error) {
+	fig := &report.Figure{
+		Title:  fmt.Sprintf("Fig 4 (%s): class B speedup", strings.ToUpper(kernel)),
+		XLabel: "# of cores", YLabel: "speedup", LogX: true, LogY: true,
+	}
+	counts := npb.ProcCounts(kernel, 64)
+	for _, p := range platform.All() {
+		times := map[int]float64{}
+		for _, np := range counts {
+			d, err := runSkeleton(kernel, p, np, npb.ClassB)
+			if err != nil {
+				return nil, err
+			}
+			times[np] = d
+		}
+		sp, err := core.Speedup(times, counts[0])
+		if err != nil {
+			return nil, err
+		}
+		s := &report.Series{Name: p.Name}
+		for _, np := range counts {
+			s.Add(float64(np), sp[np])
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Table2CommPercent reproduces Table II: IPM %comm for CG, FT and IS at
+// np = 2..64 on the three platforms.
+func Table2CommPercent() (*report.Table, error) {
+	t := &report.Table{
+		Title: "Table II: IPM % walltime in communication (class B)",
+		Headers: []string{"np",
+			"CG dcc", "CG ec2", "CG vayu",
+			"FT dcc", "FT ec2", "FT vayu",
+			"IS dcc", "IS ec2", "IS vayu"},
+	}
+	kernels := []string{"cg", "ft", "is"}
+	for _, np := range []int{2, 4, 8, 16, 32, 64} {
+		row := []any{np}
+		for _, k := range kernels {
+			for _, p := range platform.All() {
+				fn, err := suite.Skeleton(k)
+				if err != nil {
+					return nil, err
+				}
+				out, err := core.Execute(core.RunSpec{Platform: p, NP: np}, func(c *mpi.Comm) error {
+					return fn(c, npb.ClassB)
+				})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, out.Profile.CommPercent())
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// chasteRun executes the Chaste proxy and returns stats plus the profile.
+func chasteRun(p *platform.Platform, np int) (*chaste.Stats, *core.Outcome, error) {
+	cfg := chaste.Default()
+	var stats *chaste.Stats
+	out, err := core.Execute(core.RunSpec{
+		Platform: p, NP: np, MemPerRank: cfg.MemPerRank(np),
+	}, func(c *mpi.Comm) error {
+		s, err := chaste.Run(c, cfg)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			stats = s
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return stats, out, nil
+}
+
+// Fig5Chaste reproduces Figure 5: Chaste total and KSp-section speedups
+// over 8 cores on Vayu and DCC.
+func Fig5Chaste() (*report.Figure, error) {
+	fig := &report.Figure{
+		Title:  "Fig 5: Chaste speedup over 8 cores (total and KSp)",
+		XLabel: "# of cores", YLabel: "speedup", LogX: true, LogY: true,
+	}
+	for _, p := range []*platform.Platform{platform.Vayu(), platform.DCC()} {
+		total := map[int]float64{}
+		ksp := map[int]float64{}
+		for _, np := range []int{8, 16, 32, 48, 64} {
+			s, _, err := chasteRun(p, np)
+			if err != nil {
+				return nil, err
+			}
+			total[np], ksp[np] = s.Total, s.KSp
+		}
+		for _, series := range []struct {
+			name  string
+			times map[int]float64
+		}{
+			{p.Name + " total (t8=" + report.FormatFloat(total[8]) + ")", total},
+			{p.Name + " KSp (t8=" + report.FormatFloat(ksp[8]) + ")", ksp},
+		} {
+			sp, err := core.Speedup(series.times, 8)
+			if err != nil {
+				return nil, err
+			}
+			s := &report.Series{Name: series.name}
+			for _, np := range []int{8, 16, 32, 48, 64} {
+				s.Add(float64(np), sp[np])
+			}
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	return fig, nil
+}
+
+// umRun executes the MetUM proxy on p with an explicit node count (0 =
+// memory-driven minimum).
+func umRun(p *platform.Platform, np, nodes int) (*metum.Stats, *core.Outcome, error) {
+	cfg := metum.Default()
+	var stats *metum.Stats
+	out, err := core.Execute(core.RunSpec{
+		Platform: p, NP: np, Nodes: nodes, MemPerRank: cfg.MemPerRank(np),
+	}, func(c *mpi.Comm) error {
+		s, err := metum.Run(c, cfg)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			stats = s
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return stats, out, nil
+}
+
+// Fig6MetUM reproduces Figure 6: MetUM warmed-time speedups over 8 cores
+// on Vayu, DCC, EC2 (default placement) and EC2-4 (four nodes).
+func Fig6MetUM() (*report.Figure, error) {
+	fig := &report.Figure{
+		Title:  "Fig 6: MetUM warmed speedup over 8 cores",
+		XLabel: "# of cores", YLabel: "speedup", LogX: true, LogY: true,
+	}
+	nps := []int{8, 16, 24, 32, 48, 64}
+	type variant struct {
+		name  string
+		p     *platform.Platform
+		nodes func(np int) int
+	}
+	variants := []variant{
+		{"vayu", platform.Vayu(), func(int) int { return 0 }},
+		{"dcc", platform.DCC(), func(int) int { return 0 }},
+		{"ec2", platform.EC2(), func(int) int { return 0 }},
+		{"ec2-4", platform.EC2(), func(int) int { return 4 }},
+	}
+	for _, v := range variants {
+		times := map[int]float64{}
+		for _, np := range nps {
+			s, _, err := umRun(v.p, np, v.nodes(np))
+			if err != nil {
+				return nil, err
+			}
+			times[np] = s.Warmed
+		}
+		sp, err := core.Speedup(times, 8)
+		if err != nil {
+			return nil, err
+		}
+		s := &report.Series{Name: v.name + " (t8=" + report.FormatFloat(times[8]) + ")"}
+		for _, np := range nps {
+			s.Add(float64(np), sp[np])
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Table3MetUM reproduces Table III: MetUM statistics at 32 cores.
+func Table3MetUM() (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Table III: MetUM at 32 cores",
+		Headers: []string{"metric", "vayu", "dcc", "ec2", "ec2-4"},
+	}
+	type row struct {
+		stats *metum.Stats
+		out   *core.Outcome
+	}
+	var rows []row
+	configs := []struct {
+		p     *platform.Platform
+		nodes int
+	}{
+		{platform.Vayu(), 0}, {platform.DCC(), 0}, {platform.EC2(), 2}, {platform.EC2(), 4},
+	}
+	for _, cse := range configs {
+		s, o, err := umRun(cse.p, 32, cse.nodes)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row{s, o})
+	}
+	vayu := rows[0]
+	add := func(metric string, f func(r row) float64) {
+		t.AddRow(metric, f(rows[0]), f(rows[1]), f(rows[2]), f(rows[3]))
+	}
+	add("time(s)", func(r row) float64 { return r.stats.Total })
+	add("rcomp", func(r row) float64 { return r.out.Profile.Comp.Sum() / vayu.out.Profile.Comp.Sum() })
+	add("rcomm", func(r row) float64 { return r.out.Profile.Comm.Sum() / vayu.out.Profile.Comm.Sum() })
+	add("%comm", func(r row) float64 { return r.out.Profile.CommPercent() })
+	add("%imbal", func(r row) float64 { return r.out.Profile.LoadImbalancePercent() })
+	add("I/O (s)", func(r row) float64 { return r.stats.IO })
+	return t, nil
+}
+
+// Fig7Breakdown reproduces Figure 7: the per-process computation vs
+// communication breakdown of the UM ATM_STEP section at 32 cores on Vayu
+// and DCC.
+func Fig7Breakdown() (string, error) {
+	var b strings.Builder
+	for _, p := range []*platform.Platform{platform.Vayu(), platform.DCC()} {
+		_, out, err := umRun(p, 32, 0)
+		if err != nil {
+			return "", err
+		}
+		comp, comm, _ := out.Profile.Region("ATM_STEP")
+		b.WriteString(report.BarBreakdown(
+			fmt.Sprintf("Fig 7 (%s): UM ATM_STEP time by process, 32 cores", p.Name),
+			comp, comm, 60))
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// Chaste32Prose reproduces the 32-core IPM analysis quoted in Section
+// V.C.1: %comm per platform, the computation ratio and the KSp
+// communication ratio.
+func Chaste32Prose() (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Chaste at 32 cores (paper prose: 48% comm DCC, 11% Vayu, comp ratio 1.5, KSp comm ratio ~13x)",
+		Headers: []string{"metric", "vayu", "dcc"},
+	}
+	_, vo, err := chasteRun(platform.Vayu(), 32)
+	if err != nil {
+		return nil, err
+	}
+	_, do, err := chasteRun(platform.DCC(), 32)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("%comm", vo.Profile.CommPercent(), do.Profile.CommPercent())
+	t.AddRow("computation ratio (vs vayu)", 1.0, do.Profile.Comp.Sum()/vo.Profile.Comp.Sum())
+	_, vksp, _ := vo.Profile.Region("KSp")
+	_, dksp, _ := do.Profile.Region("KSp")
+	t.AddRow("KSp comm ratio (vs vayu)", 1.0, dksp.Sum()/vksp.Sum())
+	return t, nil
+}
+
+// Profiles exposes the IPM profile of one UM run for downstream analysis
+// (used by the cloudburst example and the arrive package tests).
+func UMProfile(p *platform.Platform, np int) (*ipm.Profile, error) {
+	_, out, err := umRun(p, np, 0)
+	if err != nil {
+		return nil, err
+	}
+	return out.Profile, nil
+}
+
+// Placement echoes the cluster decision for documentation purposes.
+func Placement(p *platform.Platform, np int, memPerRank int64) (string, error) {
+	nodes, err := cluster.MinNodesFor(p, np, memPerRank)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%d ranks on %d %s nodes", np, nodes, p.Name), nil
+}

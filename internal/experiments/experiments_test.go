@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestFig1Shape(t *testing.T) {
+	fig, err := Fig1OSUBandwidth([]int{64, 1 << 18, 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("want 3 platform curves, got %d", len(fig.Series))
+	}
+	// Vayu must dominate at every size (Figure 1's headline).
+	var vayu, dcc *int
+	for i, s := range fig.Series {
+		i := i
+		if strings.Contains(s.Name, "vayu") {
+			vayu = &i
+		}
+		if strings.Contains(s.Name, "dcc") {
+			dcc = &i
+		}
+	}
+	if vayu == nil || dcc == nil {
+		t.Fatal("missing series")
+	}
+	for k := range fig.Series[*vayu].Y {
+		if fig.Series[*vayu].Y[k] <= fig.Series[*dcc].Y[k] {
+			t.Fatalf("vayu bandwidth not above dcc at point %d", k)
+		}
+	}
+	if csv := fig.CSV(); !strings.HasPrefix(csv, "x,") {
+		t.Fatal("figure CSV malformed")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	fig, err := Fig2OSULatency([]int{1, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		if strings.Contains(s.Name, "vayu") && s.Y[0] > 5 {
+			t.Fatalf("vayu 1-byte latency %v us, want a few", s.Y[0])
+		}
+		if strings.Contains(s.Name, "dcc") && s.Y[0] < 40 {
+			t.Fatalf("dcc 1-byte latency %v us, want tens", s.Y[0])
+		}
+	}
+}
+
+func TestFig3TableShape(t *testing.T) {
+	tbl, err := Fig3NPBSerial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("want 8 kernels, got %d rows", len(tbl.Rows))
+	}
+	render := tbl.Render()
+	for _, k := range []string{"BT.B.1", "EP.B.1", "SP.B.1"} {
+		if !strings.Contains(render, k) {
+			t.Fatalf("missing %s in:\n%s", k, render)
+		}
+	}
+}
+
+func TestFig4PanelShape(t *testing.T) {
+	fig, err := Fig4NPBScaling("is")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("want 3 curves, got %d", len(fig.Series))
+	}
+	// Speedup at np=1 must be exactly 1 for every platform.
+	for _, s := range fig.Series {
+		if s.Y[0] != 1 {
+			t.Fatalf("%s speedup at base = %v", s.Name, s.Y[0])
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tbl, err := Table3MetUM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := tbl.Render()
+	for _, metric := range []string{"time(s)", "rcomp", "rcomm", "%comm", "%imbal", "I/O (s)"} {
+		if !strings.Contains(render, metric) {
+			t.Fatalf("missing %s in:\n%s", metric, render)
+		}
+	}
+	// rcomp row: vayu column must be 1.
+	for _, row := range tbl.Rows {
+		if row[0] == "rcomp" && row[1] != "1" {
+			t.Fatalf("vayu rcomp = %s, want 1", row[1])
+		}
+	}
+}
+
+func TestFig7Breakdown(t *testing.T) {
+	txt, err := Fig7Breakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt, "vayu") || !strings.Contains(txt, "dcc") {
+		t.Fatalf("breakdown missing platforms:\n%s", txt)
+	}
+	if !strings.Contains(txt, "p31") {
+		t.Fatalf("breakdown should cover 32 processes:\n%s", txt)
+	}
+}
+
+func TestUMProfileExtraction(t *testing.T) {
+	pr, err := UMProfile(platform.Vayu(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.NP != 16 || pr.Time() <= 0 {
+		t.Fatalf("bad profile: np=%d time=%v", pr.NP, pr.Time())
+	}
+	if pr.Calls["Allreduce"].Count == 0 {
+		t.Fatal("UM profile should include the Helmholtz all-reduces")
+	}
+}

@@ -1,0 +1,304 @@
+// Package hpcenv models the paper's central workflow claim: packaging a
+// traditional HPC software environment (compilers, modules, runtimes,
+// application binaries) into VM images that run unchanged on private and
+// public clouds.
+//
+// It reproduces the one failure mode the paper hit — "the use of
+// non-ubiquitous features such as SSE4 ... which can be avoided by the
+// selection of suitable compilation switches": binaries built with
+// host-tuned flags on Vayu use SSE4 instructions that the DCC guest's
+// virtual CPU masks (VMware EVC-style feature masking), and die with an
+// illegal-instruction fault unless rebuilt with portable switches.
+package hpcenv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Feature is an ISA capability flag (cpuid-style).
+type Feature string
+
+// The feature ladder relevant to the 2011-era Nehalem platforms.
+const (
+	SSE2  Feature = "sse2"
+	SSE3  Feature = "sse3"
+	SSSE3 Feature = "ssse3"
+	SSE41 Feature = "sse4.1"
+	SSE42 Feature = "sse4.2"
+	AVX   Feature = "avx"
+)
+
+// FeatureSet is a set of ISA capabilities.
+type FeatureSet map[Feature]bool
+
+// NewFeatureSet builds a set from a list.
+func NewFeatureSet(fs ...Feature) FeatureSet {
+	s := FeatureSet{}
+	for _, f := range fs {
+		s[f] = true
+	}
+	return s
+}
+
+// Has reports whether f is present.
+func (s FeatureSet) Has(f Feature) bool { return s[f] }
+
+// Missing returns the features of need absent from s, sorted.
+func (s FeatureSet) Missing(need FeatureSet) []Feature {
+	var out []Feature
+	for f := range need {
+		if !s[f] {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Module is one entry of the environment-modules tree under /apps.
+type Module struct {
+	Name     string
+	Version  string
+	Requires []string // module names that must be loaded first
+}
+
+// Key returns name/version.
+func (m Module) Key() string { return m.Name + "/" + m.Version }
+
+// Environment is a modules installation (the /apps directory plus the
+// user's loaded set).
+type Environment struct {
+	installed map[string]Module // name -> module (one version visible)
+	loaded    []string          // load order
+	loadedSet map[string]bool
+}
+
+// NewEnvironment returns an empty environment.
+func NewEnvironment() *Environment {
+	return &Environment{installed: map[string]Module{}, loadedSet: map[string]bool{}}
+}
+
+// Install adds a module to /apps (replacing any previous version).
+func (e *Environment) Install(m Module) error {
+	if m.Name == "" || m.Version == "" {
+		return fmt.Errorf("hpcenv: module needs name and version")
+	}
+	e.installed[m.Name] = m
+	return nil
+}
+
+// Load activates a module and, recursively, its requirements.
+func (e *Environment) Load(name string) error {
+	if e.loadedSet[name] {
+		return nil
+	}
+	m, ok := e.installed[name]
+	if !ok {
+		return fmt.Errorf("hpcenv: module %q not installed", name)
+	}
+	for _, req := range m.Requires {
+		if err := e.Load(req); err != nil {
+			return fmt.Errorf("hpcenv: loading %s: %w", name, err)
+		}
+	}
+	e.loaded = append(e.loaded, name)
+	e.loadedSet[name] = true
+	return nil
+}
+
+// Loaded returns the loaded module keys in load order.
+func (e *Environment) Loaded() []string {
+	out := make([]string, 0, len(e.loaded))
+	for _, name := range e.loaded {
+		out = append(out, e.installed[name].Key())
+	}
+	return out
+}
+
+// Clone deep-copies the environment (the rsync into the VM image).
+func (e *Environment) Clone() *Environment {
+	c := NewEnvironment()
+	for _, m := range e.installed {
+		c.installed[m.Name] = m
+	}
+	c.loaded = append([]string(nil), e.loaded...)
+	for k, v := range e.loadedSet {
+		c.loadedSet[k] = v
+	}
+	return c
+}
+
+// Host is a machine (or VM guest) with a CPU feature set and an
+// environment.
+type Host struct {
+	Name     string
+	Features FeatureSet
+	Env      *Environment
+}
+
+// Compiler builds application binaries.
+type Compiler struct {
+	Name    string
+	Version string
+}
+
+// BuildOptions select the instruction target.
+type BuildOptions struct {
+	// HostTuned emits code for every feature of the build host (icc
+	// -xHost); otherwise only Portable features are used.
+	HostTuned bool
+	// Portable is the baseline feature set for portable builds (defaults
+	// to SSE2/SSE3 when nil).
+	Portable FeatureSet
+	// Modules the application links against at runtime.
+	Modules []string
+}
+
+// Binary is a built application.
+type Binary struct {
+	App      string
+	Compiler string
+	Needs    FeatureSet // ISA features the code uses
+	Modules  []string   // runtime module dependencies
+	BuiltOn  string
+}
+
+// Build compiles app on the host.
+func (c Compiler) Build(app string, host Host, opts BuildOptions) (Binary, error) {
+	for _, m := range opts.Modules {
+		if !host.Env.loadedSet[m] {
+			return Binary{}, fmt.Errorf("hpcenv: building %s: module %q not loaded on %s", app, m, host.Name)
+		}
+	}
+	needs := FeatureSet{}
+	if opts.HostTuned {
+		for f := range host.Features {
+			needs[f] = true
+		}
+	} else {
+		base := opts.Portable
+		if base == nil {
+			base = NewFeatureSet(SSE2, SSE3)
+		}
+		for f := range base {
+			if !host.Features[f] {
+				return Binary{}, fmt.Errorf("hpcenv: building %s: host %s lacks requested feature %s", app, host.Name, f)
+			}
+			needs[f] = true
+		}
+	}
+	return Binary{
+		App:      app,
+		Compiler: c.Name + "/" + c.Version,
+		Needs:    needs,
+		Modules:  append([]string(nil), opts.Modules...),
+		BuiltOn:  host.Name,
+	}, nil
+}
+
+// VMImage packages binaries and their environment for cloud deployment.
+type VMImage struct {
+	Name     string
+	BaseOS   string
+	Binaries []Binary
+	Env      *Environment
+}
+
+// Package snapshots the host environment and the given binaries into an
+// image (the paper's rsync of /apps plus the home/project binaries).
+func Package(name, baseOS string, host Host, bins ...Binary) *VMImage {
+	return &VMImage{
+		Name:     name,
+		BaseOS:   baseOS,
+		Binaries: append([]Binary(nil), bins...),
+		Env:      host.Env.Clone(),
+	}
+}
+
+// Deployment is an image instantiated on a target host.
+type Deployment struct {
+	Image  *VMImage
+	Target Host
+}
+
+// Deploy boots the image on the target.
+func Deploy(img *VMImage, target Host) *Deployment {
+	return &Deployment{Image: img, Target: target}
+}
+
+// Exec validates that the named binary can run on the deployment's
+// target: its ISA needs must be a subset of the guest CPU features (else
+// SIGILL) and its module dependencies must be inside the image.
+func (d *Deployment) Exec(app string) error {
+	var bin *Binary
+	for i := range d.Image.Binaries {
+		if d.Image.Binaries[i].App == app {
+			bin = &d.Image.Binaries[i]
+			break
+		}
+	}
+	if bin == nil {
+		return fmt.Errorf("hpcenv: image %s has no binary %q", d.Image.Name, app)
+	}
+	if missing := d.Target.Features.Missing(bin.Needs); len(missing) > 0 {
+		names := make([]string, len(missing))
+		for i, f := range missing {
+			names[i] = string(f)
+		}
+		return fmt.Errorf("hpcenv: %s: illegal instruction (SIGILL): binary built on %s uses %s but guest CPU of %s masks it",
+			app, bin.BuiltOn, strings.Join(names, ","), d.Target.Name)
+	}
+	for _, m := range bin.Modules {
+		if !d.Image.Env.loadedSet[m] {
+			return fmt.Errorf("hpcenv: %s: cannot load shared library from module %q (not in image)", app, m)
+		}
+	}
+	return nil
+}
+
+// Stock hosts for the three platforms.
+
+// VayuHost returns the Vayu login/compute environment: full Nehalem ISA
+// including SSE4, and the /apps module tree.
+func VayuHost() Host {
+	return Host{
+		Name:     "vayu",
+		Features: NewFeatureSet(SSE2, SSE3, SSSE3, SSE41, SSE42),
+		Env:      NewEnvironment(),
+	}
+}
+
+// DCCHost returns a DCC guest VM: the VMware cluster's EVC-style feature
+// masking hides SSE4 from guests even though the E5520 silicon has it.
+func DCCHost() Host {
+	return Host{
+		Name:     "dcc-guest",
+		Features: NewFeatureSet(SSE2, SSE3, SSSE3),
+		Env:      NewEnvironment(),
+	}
+}
+
+// EC2Host returns a cc1.4xlarge guest: HVM instances expose the full
+// Nehalem feature set.
+func EC2Host() Host {
+	return Host{
+		Name:     "ec2-cc1.4xlarge",
+		Features: NewFeatureSet(SSE2, SSE3, SSSE3, SSE41, SSE42),
+		Env:      NewEnvironment(),
+	}
+}
+
+// StandardModules returns the paper's software stack as modules.
+func StandardModules() []Module {
+	return []Module{
+		{Name: "intel-cc", Version: "11.1.046"},
+		{Name: "intel-fc", Version: "11.1.072"},
+		{Name: "openmpi", Version: "1.4.3", Requires: []string{"intel-cc"}},
+		{Name: "netcdf", Version: "4.1.1", Requires: []string{"intel-fc"}},
+		{Name: "petsc", Version: "3.1", Requires: []string{"openmpi"}},
+		{Name: "chaste-deps", Version: "2.1", Requires: []string{"petsc", "netcdf"}},
+		{Name: "um-deps", Version: "7.8", Requires: []string{"openmpi", "netcdf"}},
+	}
+}

@@ -1,0 +1,106 @@
+// Package iomodel provides simple throughput models of the shared
+// filesystems used on the studied platforms: Lustre on Vayu and NFS on the
+// DCC and EC2 clusters.
+//
+// The paper's applications are read-dominated (a 1.6 GB MetUM dump and a
+// 1.4 GB Chaste mesh at startup); its measured read times (Vayu 4.5 s,
+// DCC 37.8 s, EC2 9.1 s for MetUM) calibrate the read bandwidths here.
+package iomodel
+
+import "fmt"
+
+// FS models a shared filesystem mounted on every compute node.
+type FS struct {
+	Name string
+
+	ReadBW  float64 // aggregate sequential read bandwidth, bytes/s
+	WriteBW float64 // aggregate sequential write bandwidth, bytes/s
+	OpLat   float64 // per-operation latency (open/metadata), seconds
+
+	// ReadScales indicates reads from distinct ranks proceed in parallel up
+	// to the aggregate bandwidth (parallel filesystem). When false, ranks
+	// serialise on the single server (NFS).
+	ReadScales bool
+
+	// WriteContention is the extra per-writer slowdown factor applied when
+	// w ranks write concurrently: effective BW = WriteBW / (1 + c*(w-1)).
+	// Models the inverse scaling of collective output the paper saw on the
+	// Lustre-backed runs.
+	WriteContention float64
+}
+
+// Validate reports configuration errors.
+func (f *FS) Validate() error {
+	if f.ReadBW <= 0 || f.WriteBW <= 0 {
+		return fmt.Errorf("iomodel: %s: bandwidths must be positive", f.Name)
+	}
+	if f.OpLat < 0 || f.WriteContention < 0 {
+		return fmt.Errorf("iomodel: %s: negative latency or contention", f.Name)
+	}
+	return nil
+}
+
+// ReadSeconds returns the virtual seconds for one rank to read n bytes when
+// `readers` ranks read concurrently. The aggregate bandwidth is shared
+// among concurrent readers; on a single-server filesystem (ReadScales
+// false) metadata operations additionally serialise across clients.
+func (f FS) ReadSeconds(n int64, readers int) float64 {
+	if readers < 1 {
+		readers = 1
+	}
+	lat := f.OpLat
+	if !f.ReadScales {
+		lat *= float64(readers)
+	}
+	return lat + float64(n)/(f.ReadBW/float64(readers))
+}
+
+// WriteSeconds returns the virtual seconds for one rank to write n bytes
+// when `writers` ranks write concurrently.
+func (f FS) WriteSeconds(n int64, writers int) float64 {
+	if writers < 1 {
+		writers = 1
+	}
+	bw := f.WriteBW / (1 + f.WriteContention*float64(writers-1))
+	bw /= float64(writers)
+	return f.OpLat + float64(n)/bw
+}
+
+// Lustre returns the Vayu Lustre model (~355 MB/s observed for the MetUM
+// dump read; writes show contention growth with writer count).
+func Lustre() FS {
+	return FS{
+		Name:            "lustre",
+		ReadBW:          355 << 20,
+		WriteBW:         600 << 20,
+		OpLat:           2e-3,
+		ReadScales:      true,
+		WriteContention: 0.35,
+	}
+}
+
+// NFSDCC returns the DCC NFS model (~42 MB/s reads via the external storage
+// cluster; output performance roughly constant with core count).
+func NFSDCC() FS {
+	return FS{
+		Name:            "nfs-dcc",
+		ReadBW:          42 << 20,
+		WriteBW:         60 << 20,
+		OpLat:           5e-3,
+		ReadScales:      false,
+		WriteContention: 0,
+	}
+}
+
+// NFSEC2 returns the EC2 StarCluster NFS model (~175 MB/s reads from the
+// master instance's local volume).
+func NFSEC2() FS {
+	return FS{
+		Name:            "nfs-ec2",
+		ReadBW:          175 << 20,
+		WriteBW:         140 << 20,
+		OpLat:           4e-3,
+		ReadScales:      false,
+		WriteContention: 0.05,
+	}
+}

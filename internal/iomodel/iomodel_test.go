@@ -1,0 +1,121 @@
+package iomodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStockFSValid(t *testing.T) {
+	for _, f := range []FS{Lustre(), NFSDCC(), NFSEC2()} {
+		if err := f.Validate(); err != nil {
+			t.Errorf("%s: %v", f.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	bad := []FS{
+		{Name: "zero-read", ReadBW: 0, WriteBW: 1},
+		{Name: "zero-write", ReadBW: 1, WriteBW: 0},
+		{Name: "neg-lat", ReadBW: 1, WriteBW: 1, OpLat: -1},
+		{Name: "neg-cont", ReadBW: 1, WriteBW: 1, WriteContention: -0.5},
+	}
+	for _, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("%s passed validation", f.Name)
+		}
+	}
+}
+
+func TestReadCalibrationMatchesPaper(t *testing.T) {
+	// Table III: reading the 1.6 GB MetUM dump took ~4.5 s on Vayu,
+	// ~37.8 s on DCC and ~9.1 s on EC2 (single reader: rank 0 reads).
+	gib := float64(int64(1) << 30)
+	dump := int64(1.6 * gib)
+	cases := []struct {
+		fs   FS
+		want float64
+	}{
+		{Lustre(), 4.5},
+		{NFSDCC(), 37.8},
+		{NFSEC2(), 9.1},
+	}
+	for _, c := range cases {
+		got := c.fs.ReadSeconds(dump, 1)
+		if math.Abs(got-c.want)/c.want > 0.10 {
+			t.Errorf("%s: read 1.6GB = %.1f s, want ~%.1f s", c.fs.Name, got, c.want)
+		}
+	}
+}
+
+func TestReadOrderingVayuFastest(t *testing.T) {
+	const n = int64(1 << 30)
+	v, d, e := Lustre().ReadSeconds(n, 1), NFSDCC().ReadSeconds(n, 1), NFSEC2().ReadSeconds(n, 1)
+	if !(v < e && e < d) {
+		t.Fatalf("read time ordering wrong: lustre=%v nfs-ec2=%v nfs-dcc=%v", v, e, d)
+	}
+}
+
+func TestConcurrentReadersShareBandwidth(t *testing.T) {
+	f := Lustre()
+	one := f.ReadSeconds(1<<30, 1)
+	eight := f.ReadSeconds(1<<30, 8)
+	if eight <= one {
+		t.Fatalf("8 concurrent readers (%v) should be slower per rank than 1 (%v)", eight, one)
+	}
+}
+
+func TestWriteContentionGrowth(t *testing.T) {
+	// The paper observed Chaste output scaling inversely on Vayu (more
+	// writers -> slower) but staying constant on DCC's NFS.
+	lustre := Lustre()
+	w1 := lustre.WriteSeconds(100<<20, 1)
+	w8 := lustre.WriteSeconds(100<<20, 8)
+	if w8 <= w1 {
+		t.Fatalf("lustre write with 8 writers (%v) should exceed 1 writer (%v)", w8, w1)
+	}
+	dcc := NFSDCC()
+	// Per-writer time grows linearly with writer count (pure sharing, no
+	// extra contention term).
+	d1 := dcc.WriteSeconds(100<<20, 1) - dcc.OpLat
+	d8 := dcc.WriteSeconds(100<<20, 8) - dcc.OpLat
+	if math.Abs(d8/d1-8) > 1e-6 {
+		t.Fatalf("dcc write scaling = %v, want exactly 8x (no contention term)", d8/d1)
+	}
+}
+
+func TestReadSecondsPositiveProperty(t *testing.T) {
+	f := NFSEC2()
+	prop := func(n uint32, readers uint8) bool {
+		return f.ReadSeconds(int64(n), int(readers)) > 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadSecondsMonotoneInSize(t *testing.T) {
+	f := NFSDCC()
+	prop := func(a, b uint32, readers uint8) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		r := int(readers)
+		return f.ReadSeconds(x, r) <= f.ReadSeconds(y, r)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroReadersTreatedAsOne(t *testing.T) {
+	f := Lustre()
+	if f.ReadSeconds(1<<20, 0) != f.ReadSeconds(1<<20, 1) {
+		t.Fatal("0 readers should behave as 1")
+	}
+	if f.WriteSeconds(1<<20, 0) != f.WriteSeconds(1<<20, 1) {
+		t.Fatal("0 writers should behave as 1")
+	}
+}

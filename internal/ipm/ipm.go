@@ -1,0 +1,322 @@
+// Package ipm implements an IPM-style performance profiler for the mpi
+// runtime: per-rank and per-region accounting of communication,
+// computation and I/O time, per-call statistics, message-size histograms,
+// communication percentage and load-imbalance metrics — the numbers the
+// paper reports in Tables II/III and Figure 7.
+package ipm
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// DefaultRegion is the region label used before the first Comm.Region call.
+const DefaultRegion = "(main)"
+
+// CallStats aggregates one MPI call type.
+type CallStats struct {
+	Count int
+	Time  float64
+	Bytes int64
+}
+
+// RegionStats aggregates activity inside one profiling region on one rank.
+type RegionStats struct {
+	Comm    float64
+	Compute float64
+	IO      float64
+	Calls   map[string]*CallStats
+}
+
+// Wall returns the accounted virtual time in the region.
+func (r *RegionStats) Wall() float64 { return r.Comm + r.Compute + r.IO }
+
+// rankCollector gathers events for one rank. All events for a rank arrive
+// from that rank's goroutine, so no locking is needed.
+type rankCollector struct {
+	region   string
+	comm     float64
+	compute  float64
+	io       float64
+	calls    map[string]*CallStats
+	regions  map[string]*RegionStats
+	sizeHist map[int]int // log2 bucket -> message count
+}
+
+func newRankCollector() *rankCollector {
+	rc := &rankCollector{
+		region:   DefaultRegion,
+		calls:    map[string]*CallStats{},
+		regions:  map[string]*RegionStats{},
+		sizeHist: map[int]int{},
+	}
+	rc.regions[DefaultRegion] = &RegionStats{Calls: map[string]*CallStats{}}
+	return rc
+}
+
+func (rc *rankCollector) regionStats() *RegionStats {
+	rs, ok := rc.regions[rc.region]
+	if !ok {
+		rs = &RegionStats{Calls: map[string]*CallStats{}}
+		rc.regions[rc.region] = rs
+	}
+	return rs
+}
+
+// Profiler implements mpi.Tracer.
+type Profiler struct {
+	ranks []*rankCollector
+}
+
+var _ mpi.Tracer = (*Profiler)(nil)
+
+// New creates a profiler for np ranks.
+func New(np int) *Profiler {
+	p := &Profiler{ranks: make([]*rankCollector, np)}
+	for i := range p.ranks {
+		p.ranks[i] = newRankCollector()
+	}
+	return p
+}
+
+// Call implements mpi.Tracer.
+func (p *Profiler) Call(rank int, rec mpi.CallRecord) {
+	rc := p.ranks[rank]
+	rc.comm += rec.Dur
+	upd := func(m map[string]*CallStats) {
+		cs, ok := m[rec.Name]
+		if !ok {
+			cs = &CallStats{}
+			m[rec.Name] = cs
+		}
+		cs.Count++
+		cs.Time += rec.Dur
+		cs.Bytes += int64(rec.Bytes)
+	}
+	upd(rc.calls)
+	rs := rc.regionStats()
+	rs.Comm += rec.Dur
+	upd(rs.Calls)
+	rc.sizeHist[sizeBucket(rec.Bytes)]++
+}
+
+// Advance implements mpi.Tracer.
+func (p *Profiler) Advance(rank int, kind string, start, dur float64) {
+	rc := p.ranks[rank]
+	rs := rc.regionStats()
+	switch kind {
+	case "compute":
+		rc.compute += dur
+		rs.Compute += dur
+	case "io":
+		rc.io += dur
+		rs.IO += dur
+	}
+}
+
+// Region implements mpi.Tracer.
+func (p *Profiler) Region(rank int, name string, at float64) {
+	if name == "" {
+		name = DefaultRegion
+	}
+	p.ranks[rank].region = name
+}
+
+// sizeBucket returns the log2 bucket index for a message size (0 bytes
+// maps to bucket 0).
+func sizeBucket(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// BucketBytes returns the upper bound of a histogram bucket.
+func BucketBytes(bucket int) int { return 1 << bucket }
+
+// Profile is an immutable snapshot of a finished run.
+type Profile struct {
+	NP    int
+	Wall  sim.Series // per-rank final clocks
+	Comm  sim.Series
+	Comp  sim.Series
+	IO    sim.Series
+	Calls map[string]CallStats // aggregated over ranks
+
+	regions  []map[string]*RegionStats // per rank
+	sizeHist map[int]int               // aggregated
+}
+
+// Snapshot combines the collected events with the run result into a
+// profile. It must be called after mpi's Run returns.
+func (p *Profiler) Snapshot(res *mpi.Result) *Profile {
+	np := len(p.ranks)
+	pr := &Profile{
+		NP:       np,
+		Wall:     append(sim.Series(nil), res.RankTimes...),
+		Comm:     make(sim.Series, np),
+		Comp:     make(sim.Series, np),
+		IO:       make(sim.Series, np),
+		Calls:    map[string]CallStats{},
+		regions:  make([]map[string]*RegionStats, np),
+		sizeHist: map[int]int{},
+	}
+	for r, rc := range p.ranks {
+		pr.Comm[r] = rc.comm
+		pr.Comp[r] = rc.compute
+		pr.IO[r] = rc.io
+		pr.regions[r] = rc.regions
+		for name, cs := range rc.calls {
+			agg := pr.Calls[name]
+			agg.Count += cs.Count
+			agg.Time += cs.Time
+			agg.Bytes += cs.Bytes
+			pr.Calls[name] = agg
+		}
+		for b, c := range rc.sizeHist {
+			pr.sizeHist[b] += c
+		}
+	}
+	return pr
+}
+
+// CommPercent returns the percentage of total walltime spent in
+// communication — IPM's "%comm", the statistic of Table II.
+func (pr *Profile) CommPercent() float64 {
+	wall := pr.Wall.Sum()
+	if wall == 0 {
+		return 0
+	}
+	return 100 * pr.Comm.Sum() / wall
+}
+
+// IOPercent returns the percentage of total walltime spent in file I/O.
+func (pr *Profile) IOPercent() float64 {
+	wall := pr.Wall.Sum()
+	if wall == 0 {
+		return 0
+	}
+	return 100 * pr.IO.Sum() / wall
+}
+
+// LoadImbalancePercent returns 100*(max-mean)/max of per-rank computation
+// time — the paper's "%imbal".
+func (pr *Profile) LoadImbalancePercent() float64 {
+	return 100 * pr.Comp.Imbalance()
+}
+
+// Time returns the job's virtual wall time.
+func (pr *Profile) Time() float64 { return pr.Wall.Max() }
+
+// RegionNames returns all region labels seen, sorted.
+func (pr *Profile) RegionNames() []string {
+	set := map[string]bool{}
+	for _, m := range pr.regions {
+		for name := range m {
+			set[name] = true
+		}
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Region returns the aggregated per-rank series for one region:
+// computation, communication and I/O time per rank. Ranks that never
+// entered the region contribute zeros.
+func (pr *Profile) Region(name string) (comp, comm, io sim.Series) {
+	comp = make(sim.Series, pr.NP)
+	comm = make(sim.Series, pr.NP)
+	io = make(sim.Series, pr.NP)
+	for r, m := range pr.regions {
+		if rs, ok := m[name]; ok {
+			comp[r] = rs.Compute
+			comm[r] = rs.Comm
+			io[r] = rs.IO
+		}
+	}
+	return comp, comm, io
+}
+
+// RegionCommPercent returns %comm within one region.
+func (pr *Profile) RegionCommPercent(name string) float64 {
+	comp, comm, io := pr.Region(name)
+	total := comp.Sum() + comm.Sum() + io.Sum()
+	if total == 0 {
+		return 0
+	}
+	return 100 * comm.Sum() / total
+}
+
+// RegionCalls aggregates call statistics across ranks for one region.
+func (pr *Profile) RegionCalls(name string) map[string]CallStats {
+	out := map[string]CallStats{}
+	for _, m := range pr.regions {
+		rs, ok := m[name]
+		if !ok {
+			continue
+		}
+		for cn, cs := range rs.Calls {
+			agg := out[cn]
+			agg.Count += cs.Count
+			agg.Time += cs.Time
+			agg.Bytes += cs.Bytes
+			out[cn] = agg
+		}
+	}
+	return out
+}
+
+// SizeHistogram returns (bucketUpperBytes, count) pairs sorted by size.
+func (pr *Profile) SizeHistogram() ([]int, []int) {
+	buckets := make([]int, 0, len(pr.sizeHist))
+	for b := range pr.sizeHist {
+		buckets = append(buckets, b)
+	}
+	sort.Ints(buckets)
+	sizes := make([]int, len(buckets))
+	counts := make([]int, len(buckets))
+	for i, b := range buckets {
+		sizes[i] = BucketBytes(b)
+		counts[i] = pr.sizeHist[b]
+	}
+	return sizes, counts
+}
+
+// AvgMessageBytes returns the mean message size over all recorded calls,
+// or 0 when nothing was sent.
+func (pr *Profile) AvgMessageBytes() float64 {
+	var n int
+	var bytes int64
+	for _, cs := range pr.Calls {
+		n += cs.Count
+		bytes += cs.Bytes
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(bytes) / float64(n)
+}
+
+// String renders a compact IPM-like summary.
+func (pr *Profile) String() string {
+	s := fmt.Sprintf("ranks=%d wall=%.3fs comm=%.1f%% io=%.1f%% imbal=%.1f%%\n",
+		pr.NP, pr.Time(), pr.CommPercent(), pr.IOPercent(), pr.LoadImbalancePercent())
+	names := make([]string, 0, len(pr.Calls))
+	for n := range pr.Calls {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		cs := pr.Calls[n]
+		s += fmt.Sprintf("  %-12s count=%-8d time=%.4fs bytes=%d\n", n, cs.Count, cs.Time, cs.Bytes)
+	}
+	return s
+}

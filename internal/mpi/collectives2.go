@@ -1,0 +1,151 @@
+package mpi
+
+import "fmt"
+
+// Additional collectives: the variable all-to-all used by IS-style key
+// exchanges, reduce-scatter, and prefix scans.
+
+const (
+	tagAlltoallv = 1<<20 + 16
+	tagRedScat   = 1<<20 + 17
+	tagScan      = 1<<20 + 18
+)
+
+// Alltoallv exchanges variable-length float64 blocks: rank r sends
+// send[sdispl[d]:sdispl[d]+sendCounts[d]] to each destination d and
+// receives recvCounts[s] elements from each source s into
+// recv[rdispl[s]:...]. Displacements are the prefix sums of the counts.
+func (c *Comm) Alltoallv(send []float64, sendCounts []int, recv []float64, recvCounts []int) {
+	p := c.Size()
+	if len(sendCounts) != p || len(recvCounts) != p {
+		panic(fmt.Sprintf("mpi: Alltoallv counts length %d/%d, want %d", len(sendCounts), len(recvCounts), p))
+	}
+	sdispl := make([]int, p+1)
+	rdispl := make([]int, p+1)
+	for i := 0; i < p; i++ {
+		sdispl[i+1] = sdispl[i] + sendCounts[i]
+		rdispl[i+1] = rdispl[i] + recvCounts[i]
+	}
+	if sdispl[p] > len(send) || rdispl[p] > len(recv) {
+		panic(fmt.Sprintf("mpi: Alltoallv buffers too small: need %d/%d, have %d/%d",
+			sdispl[p], rdispl[p], len(send), len(recv)))
+	}
+	var totalBytes int
+	for _, n := range sendCounts {
+		totalBytes += 8 * n
+	}
+	c.collective("Alltoallv", totalBytes, func() {
+		copy(recv[rdispl[c.rank]:rdispl[c.rank+1]], send[sdispl[c.rank]:sdispl[c.rank+1]])
+		for s := 1; s < p; s++ {
+			dst := (c.rank + s) % p
+			src := (c.rank - s + p) % p
+			c.Send(dst, tagAlltoallv, send[sdispl[dst]:sdispl[dst+1]])
+			got := c.Recv(src, tagAlltoallv, recv[rdispl[src]:rdispl[src+1]])
+			if got != recvCounts[src] {
+				panic(fmt.Sprintf("mpi: Alltoallv count mismatch from %d: got %d, want %d", src, got, recvCounts[src]))
+			}
+		}
+	})
+}
+
+// AlltoallvN performs a phantom variable all-to-all: sendBytes[d] bytes to
+// each destination. It returns the bytes received from each source (known
+// from the arriving messages, as with probed receives).
+func (c *Comm) AlltoallvN(sendBytes []int) []int {
+	p := c.Size()
+	if len(sendBytes) != p {
+		panic(fmt.Sprintf("mpi: AlltoallvN counts length %d, want %d", len(sendBytes), p))
+	}
+	recvBytes := make([]int, p)
+	var total int
+	for _, n := range sendBytes {
+		total += n
+	}
+	c.collective("Alltoallv", total, func() {
+		recvBytes[c.rank] = sendBytes[c.rank]
+		for s := 1; s < p; s++ {
+			dst := (c.rank + s) % p
+			src := (c.rank - s + p) % p
+			c.SendN(dst, tagAlltoallv, sendBytes[dst])
+			recvBytes[src] = c.RecvN(src, tagAlltoallv)
+		}
+	})
+	return recvBytes
+}
+
+// ReduceScatterBlock combines data with op across all ranks and scatters
+// equal blocks of the result: recv gets block `rank` of the reduction.
+// len(data) must be p*len(recv).
+func (c *Comm) ReduceScatterBlock(op Op, data, recv []float64) {
+	p := c.Size()
+	n := len(recv)
+	if len(data) != p*n {
+		panic(fmt.Sprintf("mpi: ReduceScatterBlock data length %d, want %d", len(data), p*n))
+	}
+	c.collective("Reduce_scatter", 8*n, func() {
+		// Reduce to rank 0 on a scratch copy, then scatter blocks.
+		tmp := append([]float64(nil), data...)
+		vr := c.rank
+		mask := 1
+		buf := make([]float64, len(data))
+		for mask < p {
+			if vr&mask == 0 {
+				if vr+mask < p {
+					c.Recv(vr+mask, tagRedScat, buf)
+					op.combine(tmp, buf)
+				}
+			} else {
+				c.Send(vr-mask, tagRedScat, tmp)
+				break
+			}
+			mask <<= 1
+		}
+		if c.rank == 0 {
+			copy(recv, tmp[:n])
+			for r := 1; r < p; r++ {
+				c.Send(r, tagRedScat+1, tmp[r*n:(r+1)*n])
+			}
+		} else {
+			c.Recv(0, tagRedScat+1, recv)
+		}
+	})
+}
+
+// Scan computes the inclusive prefix reduction: after the call, rank r's
+// data holds op(data_0, ..., data_r). Linear chain, as many MPI
+// implementations use for small communicators.
+func (c *Comm) Scan(op Op, data []float64) {
+	p := c.Size()
+	c.collective("Scan", 8*len(data), func() {
+		if c.rank > 0 {
+			prev := make([]float64, len(data))
+			c.Recv(c.rank-1, tagScan, prev)
+			op.combine(data, prev)
+		}
+		if c.rank < p-1 {
+			c.Send(c.rank+1, tagScan, data)
+		}
+	})
+}
+
+// Exscan computes the exclusive prefix reduction: rank r's data becomes
+// op(data_0, ..., data_{r-1}); rank 0's buffer is zeroed (Sum identity).
+func (c *Comm) Exscan(op Op, data []float64) {
+	p := c.Size()
+	c.collective("Exscan", 8*len(data), func() {
+		inclusive := append([]float64(nil), data...)
+		if c.rank > 0 {
+			prev := make([]float64, len(data))
+			c.Recv(c.rank-1, tagScan+1, prev)
+			op.combine(inclusive, prev)
+			copy(data, prev)
+		} else {
+			for i := range data {
+				data[i] = 0
+			}
+		}
+		if c.rank < p-1 {
+			c.Send(c.rank+1, tagScan+1, inclusive)
+		}
+	})
+}

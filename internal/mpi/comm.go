@@ -1,0 +1,356 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/cpumodel"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+// rankState is the per-rank execution state shared by every communicator
+// handle of that rank (the virtual clock must not fork across Split).
+type rankState struct {
+	world *World
+	wrank int // world rank
+	clock float64
+	rng   *sim.RNG
+
+	commTime    float64
+	computeTime float64
+	ioTime      float64
+
+	region string
+	quiet  int  // >0 suppresses tracing/accounting of nested operations
+	solo   bool // single-communicator phase: sender owns the whole NIC
+}
+
+// Comm is one rank's handle on a communicator. The zero value is not
+// usable; communicators are created by World.Run and Comm.Split.
+type Comm struct {
+	st      *rankState
+	ctx     uint64 // communicator context id, isolates message matching
+	rank    int    // rank within this communicator
+	group   []int  // communicator rank -> world rank
+	nsplits int    // split generation counter for context derivation
+}
+
+func newComm(w *World, rank int, group []int) *Comm {
+	st := &rankState{
+		world: w,
+		wrank: rank,
+		rng:   sim.NewRNG(w.Platform.Seed ^ w.seed).Derive(uint64(rank) + 1),
+	}
+	return &Comm{st: st, ctx: 1, rank: rank, group: group}
+}
+
+// Rank returns this rank's index within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// WorldRank returns this rank's index in the world communicator.
+func (c *Comm) WorldRank() int { return c.st.wrank }
+
+// Clock returns the rank's current virtual time in seconds.
+func (c *Comm) Clock() float64 { return c.st.clock }
+
+// CommTime returns the accumulated virtual seconds spent in communication.
+func (c *Comm) CommTime() float64 { return c.st.commTime }
+
+// ComputeTime returns the accumulated virtual seconds charged as computation.
+func (c *Comm) ComputeTime() float64 { return c.st.computeTime }
+
+// IOTime returns the accumulated virtual seconds charged as file I/O.
+func (c *Comm) IOTime() float64 { return c.st.ioTime }
+
+// RNG returns this rank's deterministic random stream (for workload
+// generation that must differ by rank but stay reproducible).
+func (c *Comm) RNG() *sim.RNG { return c.st.rng }
+
+// SetSolo marks a phase in which effectively one rank communicates at a
+// time (e.g. a startup scatter from rank 0 while everyone else waits), so
+// the sender is not charged NIC contention from its idle node-mates. The
+// static contention model otherwise assumes bulk-synchronous phases where
+// all co-located ranks transmit concurrently.
+func (c *Comm) SetSolo(on bool) { c.st.solo = on }
+
+// Region switches the active profiling region label recorded with
+// subsequent operations (IPM's MPI_Pcontrol sections).
+func (c *Comm) Region(name string) {
+	c.st.region = name
+	if t := c.st.world.tracer; t != nil {
+		t.Region(c.st.wrank, name, c.st.clock)
+	}
+}
+
+// contention returns this rank's CPU contention context.
+func (c *Comm) contention() cpumodel.Context {
+	pl := c.st.world.Placement
+	return cpumodel.Context{
+		RanksOnNode: pl.RanksPerNode[pl.NodeOf[c.st.wrank]],
+		NUMAPinned:  c.st.world.Platform.NUMAPinned,
+	}
+}
+
+// Compute charges the modelled cost of w to this rank's clock, including
+// the platform's compute jitter.
+func (c *Comm) Compute(w cpumodel.Work) {
+	p := c.st.world.Platform
+	secs := p.CPU.Seconds(w, c.contention()) * p.ComputeOverhead
+	secs = p.ComputeJitter.Apply(c.st.rng, secs)
+	c.advance("compute", secs)
+}
+
+// ComputeSeconds charges raw virtual seconds of computation (no jitter,
+// no CPU scaling); used for calibrated fixed costs.
+func (c *Comm) ComputeSeconds(secs float64) { c.advance("compute", secs) }
+
+// ReadShared charges the cost of reading n bytes from the platform's
+// shared filesystem while `readers` ranks read concurrently.
+func (c *Comm) ReadShared(n int64, readers int) {
+	c.advance("io", c.st.world.Platform.FS.ReadSeconds(n, readers))
+}
+
+// WriteShared charges the cost of writing n bytes to the shared filesystem
+// while `writers` ranks write concurrently.
+func (c *Comm) WriteShared(n int64, writers int) {
+	c.advance("io", c.st.world.Platform.FS.WriteSeconds(n, writers))
+}
+
+func (c *Comm) advance(kind string, secs float64) {
+	if secs < 0 {
+		panic(fmt.Sprintf("mpi: negative %s advance %g", kind, secs))
+	}
+	start := c.st.clock
+	c.st.clock += secs
+	switch kind {
+	case "compute":
+		c.st.computeTime += secs
+	case "io":
+		c.st.ioTime += secs
+	}
+	if t := c.st.world.tracer; t != nil && c.st.quiet == 0 {
+		t.Advance(c.st.wrank, kind, start, secs)
+	}
+}
+
+// record accounts a completed communication call that began at start.
+func (c *Comm) record(name string, bytes int, start float64) {
+	if c.st.quiet > 0 {
+		return
+	}
+	dur := c.st.clock - start
+	c.st.commTime += dur
+	if t := c.st.world.tracer; t != nil {
+		t.Call(c.st.wrank, CallRecord{
+			Name: name, Bytes: bytes, Start: start, Dur: dur, Region: c.st.region,
+		})
+	}
+}
+
+// link returns the transport between two world ranks.
+func (w *World) link(a, b int) *netmodel.Link {
+	return w.Platform.Link(w.Placement.NodeOf[a], w.Placement.NodeOf[b])
+}
+
+// nicShare returns the NIC bandwidth-sharing factor for a message between
+// two world ranks: inter-node messages contend with the other ranks on the
+// busier endpoint node (bulk-synchronous codes communicate simultaneously);
+// intra-node transfers do not cross the NIC.
+func (w *World) nicShare(a, b int) float64 {
+	na, nb := w.Placement.NodeOf[a], w.Placement.NodeOf[b]
+	if na == nb {
+		return 1
+	}
+	ra, rb := w.Placement.RanksPerNode[na], w.Placement.RanksPerNode[nb]
+	if rb > ra {
+		ra = rb
+	}
+	return float64(ra)
+}
+
+func (c *Comm) checkRank(r int, what string) {
+	if r < 0 || r >= len(c.group) {
+		panic(fmt.Sprintf("mpi: %s rank %d out of range [0,%d)", what, r, len(c.group)))
+	}
+}
+
+// sendRaw injects a message towards communicator rank dst and returns the
+// call start time. data may be nil for a phantom (size-only) message.
+func (c *Comm) sendRaw(dst, tag int, data any, bytes int) float64 {
+	c.checkRank(dst, "destination")
+	if bytes < 0 {
+		panic("mpi: negative message size")
+	}
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: negative tag %d", tag))
+	}
+	start := c.st.clock
+	wdst := c.group[dst]
+	link := c.st.world.link(c.st.wrank, wdst)
+	share := c.st.world.nicShare(c.st.wrank, wdst)
+	if c.st.solo {
+		share = 1
+	}
+	busy, delay := link.TransferShared(c.st.rng, bytes, share)
+	c.st.clock += busy
+	c.st.world.inboxes[wdst].put(&message{
+		ctx: c.ctx, src: c.st.wrank, tag: tag, data: data, bytes: bytes, arrive: start + delay,
+	})
+	return start
+}
+
+// recvRaw blocks for a matching message, advances the clock to its arrival
+// and returns it. src may be AnySource.
+func (c *Comm) recvRaw(src, tag int) *message {
+	wsrc := AnySource
+	if src != AnySource {
+		c.checkRank(src, "source")
+		wsrc = c.group[src]
+	}
+	m := c.st.world.inboxes[c.st.wrank].match(c.ctx, wsrc, tag)
+	link := c.st.world.link(m.src, c.st.wrank)
+	if m.arrive > c.st.clock {
+		c.st.clock = m.arrive
+	}
+	c.st.clock += link.RecvOverhead
+	return m
+}
+
+// Send transmits data to communicator rank dst with the given tag,
+// blocking (in virtual time) for the eager injection cost. The slice is
+// copied, so the caller may reuse it immediately.
+func (c *Comm) Send(dst, tag int, data []float64) {
+	cp := append([]float64(nil), data...)
+	start := c.sendRaw(dst, tag, cp, 8*len(cp))
+	c.record("Send", 8*len(cp), start)
+}
+
+// SendInts transmits an int slice.
+func (c *Comm) SendInts(dst, tag int, data []int) {
+	cp := append([]int(nil), data...)
+	start := c.sendRaw(dst, tag, cp, 8*len(cp))
+	c.record("Send", 8*len(cp), start)
+}
+
+// SendComplex transmits a complex128 slice.
+func (c *Comm) SendComplex(dst, tag int, data []complex128) {
+	cp := append([]complex128(nil), data...)
+	start := c.sendRaw(dst, tag, cp, 16*len(cp))
+	c.record("Send", 16*len(cp), start)
+}
+
+// SendN transmits a phantom message of n bytes: the full communication
+// cost is modelled but no payload is allocated. Skeleton workloads use
+// this to replay class-B communication patterns cheaply.
+func (c *Comm) SendN(dst, tag, n int) {
+	start := c.sendRaw(dst, tag, nil, n)
+	c.record("Send", n, start)
+}
+
+// Recv blocks until a message from src with tag arrives and copies its
+// payload into buf, returning the number of elements received. It panics
+// if the payload type mismatches or buf is too small (MPI truncation).
+func (c *Comm) Recv(src, tag int, buf []float64) int {
+	start := c.st.clock
+	m := c.recvRaw(src, tag)
+	n := copyFloat64(buf, m)
+	c.record("Recv", m.bytes, start)
+	return n
+}
+
+// RecvInts is Recv for int payloads.
+func (c *Comm) RecvInts(src, tag int, buf []int) int {
+	start := c.st.clock
+	m := c.recvRaw(src, tag)
+	n := copyInt(buf, m)
+	c.record("Recv", m.bytes, start)
+	return n
+}
+
+// RecvComplex is Recv for complex128 payloads.
+func (c *Comm) RecvComplex(src, tag int, buf []complex128) int {
+	start := c.st.clock
+	m := c.recvRaw(src, tag)
+	n := copyComplex(buf, m)
+	c.record("Recv", m.bytes, start)
+	return n
+}
+
+// RecvN receives a phantom message and returns its modelled size in bytes.
+func (c *Comm) RecvN(src, tag int) int {
+	start := c.st.clock
+	m := c.recvRaw(src, tag)
+	if m.data != nil {
+		panic("mpi: RecvN matched a message with a real payload")
+	}
+	c.record("Recv", m.bytes, start)
+	return m.bytes
+}
+
+// Sendrecv performs a combined send to dst and receive from src (equal
+// float64 payloads), the staple of halo exchanges. It cannot deadlock
+// because sends are eager.
+func (c *Comm) Sendrecv(dst, sendTag int, send []float64, src, recvTag int, recv []float64) int {
+	start := c.st.clock
+	cp := append([]float64(nil), send...)
+	c.sendRaw(dst, sendTag, cp, 8*len(cp))
+	m := c.recvRaw(src, recvTag)
+	n := copyFloat64(recv, m)
+	c.record("Sendrecv", 8*len(cp)+m.bytes, start)
+	return n
+}
+
+// SendrecvN is the phantom form of Sendrecv: sendN bytes to dst, receive a
+// phantom message from src.
+func (c *Comm) SendrecvN(dst, sendTag, sendN, src, recvTag int) int {
+	start := c.st.clock
+	c.sendRaw(dst, sendTag, nil, sendN)
+	m := c.recvRaw(src, recvTag)
+	c.record("Sendrecv", sendN+m.bytes, start)
+	return m.bytes
+}
+
+func copyFloat64(buf []float64, m *message) int {
+	if m.data == nil {
+		panic("mpi: typed receive matched a phantom message")
+	}
+	src, ok := m.data.([]float64)
+	if !ok {
+		panic(fmt.Sprintf("mpi: receive type mismatch: message holds %T, want []float64", m.data))
+	}
+	if len(src) > len(buf) {
+		panic(fmt.Sprintf("mpi: message truncated: %d elements into buffer of %d", len(src), len(buf)))
+	}
+	return copy(buf, src)
+}
+
+func copyInt(buf []int, m *message) int {
+	if m.data == nil {
+		panic("mpi: typed receive matched a phantom message")
+	}
+	src, ok := m.data.([]int)
+	if !ok {
+		panic(fmt.Sprintf("mpi: receive type mismatch: message holds %T, want []int", m.data))
+	}
+	if len(src) > len(buf) {
+		panic(fmt.Sprintf("mpi: message truncated: %d elements into buffer of %d", len(src), len(buf)))
+	}
+	return copy(buf, src)
+}
+
+func copyComplex(buf []complex128, m *message) int {
+	if m.data == nil {
+		panic("mpi: typed receive matched a phantom message")
+	}
+	src, ok := m.data.([]complex128)
+	if !ok {
+		panic(fmt.Sprintf("mpi: receive type mismatch: message holds %T, want []complex128", m.data))
+	}
+	if len(src) > len(buf) {
+		panic(fmt.Sprintf("mpi: message truncated: %d elements into buffer of %d", len(src), len(buf)))
+	}
+	return copy(buf, src)
+}

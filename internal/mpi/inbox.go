@@ -1,0 +1,68 @@
+package mpi
+
+import "sync"
+
+// AnySource and AnyTag are wildcard values for Recv matching. Receives
+// using wildcards are matched in physical arrival order, which is not
+// deterministic across runs; all workloads in this repository use explicit
+// sources and tags, keeping every experiment bit-reproducible.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// message is an in-flight point-to-point message.
+type message struct {
+	ctx    uint64 // communicator context id
+	src    int    // world rank of sender
+	tag    int
+	data   any     // payload slice, or nil for a phantom (size-only) message
+	bytes  int     // modelled payload size
+	arrive float64 // virtual arrival time at the receiver
+}
+
+// inbox is one rank's unexpected-message queue with source/tag matching.
+type inbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []*message
+}
+
+func newInbox() *inbox {
+	b := &inbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// put enqueues a message and wakes matchers. Messages from one sender are
+// enqueued in program order, giving per-(src,tag) FIFO matching.
+func (b *inbox) put(m *message) {
+	b.mu.Lock()
+	b.queue = append(b.queue, m)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// match blocks until a message matching (ctx, src, tag) is available,
+// removes it from the queue and returns it. src/tag may be
+// AnySource/AnyTag; the communicator context always matches exactly.
+func (b *inbox) match(ctx uint64, src, tag int) *message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for i, m := range b.queue {
+			if m.ctx == ctx && (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+				b.queue = append(b.queue[:i], b.queue[i+1:]...)
+				return m
+			}
+		}
+		b.cond.Wait()
+	}
+}
+
+// pending returns the number of queued, unmatched messages.
+func (b *inbox) pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queue)
+}

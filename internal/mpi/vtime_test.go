@@ -1,0 +1,392 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/cpumodel"
+	"repro/internal/platform"
+)
+
+func TestClockStartsAtZeroAndAdvances(t *testing.T) {
+	run(t, platform.Vayu(), 1, func(c *Comm) error {
+		if c.Clock() != 0 {
+			return fmt.Errorf("initial clock = %v", c.Clock())
+		}
+		c.ComputeSeconds(2.5)
+		if c.Clock() != 2.5 {
+			return fmt.Errorf("clock after 2.5s compute = %v", c.Clock())
+		}
+		return nil
+	})
+}
+
+func TestComputeChargesModelledTime(t *testing.T) {
+	p := platform.Vayu()
+	p.ComputeJitter.Sigma = 0 // exact check
+	res, err := RunOn(p, 1, func(c *Comm) error {
+		c.Compute(cpumodel.Work{Flops: 1e9})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1e9 / (2.93e9 * 4 * p.CPU.Efficiency)
+	if math.Abs(res.Time-want)/want > 1e-9 {
+		t.Fatalf("1 GFlop took %v, want %v", res.Time, want)
+	}
+}
+
+func TestMessageRespectsLatency(t *testing.T) {
+	// A cross-node message cannot arrive before one link latency.
+	p := platform.Vayu()
+	pl, err := cluster.Place(p, cluster.Spec{NP: 16}) // 2 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(p, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := make([]float64, 16)
+	if _, err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.SendN(15, 0, 8) // rank 15 is on node 1
+		} else if c.Rank() == 15 {
+			c.RecvN(0, 0)
+			times[15] = c.Clock()
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if times[15] < p.Inter.Latency {
+		t.Fatalf("message arrived at %v, before link latency %v", times[15], p.Inter.Latency)
+	}
+}
+
+func TestIntraNodeFasterThanInterNode(t *testing.T) {
+	p := platform.DCC()
+	pingpong := func(np int, peer int) float64 {
+		var elapsed float64
+		res, err := RunOn(p, np, func(c *Comm) error {
+			const iters = 100
+			buf := make([]float64, 128)
+			if c.Rank() == 0 {
+				start := c.Clock()
+				for i := 0; i < iters; i++ {
+					c.Send(peer, 0, buf)
+					c.Recv(peer, 1, buf)
+				}
+				elapsed = c.Clock() - start
+			} else if c.Rank() == peer {
+				for i := 0; i < iters; i++ {
+					c.Recv(0, 0, buf)
+					c.Send(0, 1, buf)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = res
+		return elapsed
+	}
+	intra := pingpong(2, 1)   // both ranks on node 0
+	inter := pingpong(16, 15) // rank 15 on node 1
+	if intra*5 > inter {
+		t.Fatalf("intra-node ping-pong (%v) should be far faster than inter-node (%v)", intra, inter)
+	}
+}
+
+func TestDeterministicVirtualTime(t *testing.T) {
+	// Same experiment twice: identical virtual times despite goroutine
+	// scheduling differences.
+	exp := func() []float64 {
+		res, err := RunOn(platform.DCC(), 16, func(c *Comm) error {
+			for i := 0; i < 20; i++ {
+				c.Compute(cpumodel.Work{Flops: 1e7})
+				c.AllreduceN(8)
+			}
+			data := make([]float64, 64)
+			c.Allreduce(Sum, data)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.RankTimes
+	}
+	a, b := exp(), exp()
+	for r := range a {
+		if a[r] != b[r] {
+			t.Fatalf("rank %d time differs across identical runs: %v vs %v", r, a[r], b[r])
+		}
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	p := platform.DCC()
+	pl, err := cluster.Place(p, cluster.Spec{NP: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSeed := func(seed uint64) float64 {
+		w, err := NewWorld(p, pl, WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := w.Run(func(c *Comm) error {
+			for i := 0; i < 10; i++ {
+				c.AllreduceN(8)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	if runSeed(1) == runSeed(2) {
+		t.Fatal("different seeds should perturb jittered timings")
+	}
+}
+
+func TestCommTimeAccounting(t *testing.T) {
+	res, err := RunOn(platform.DCC(), 16, func(c *Comm) error {
+		c.Compute(cpumodel.Work{Flops: 1e8})
+		for i := 0; i < 5; i++ {
+			c.AllreduceN(8)
+		}
+		c.ReadShared(1<<20, 16)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 16; r++ {
+		wall := res.RankTimes[r]
+		sum := res.CommTimes[r] + res.ComputeTimes[r] + res.IOTimes[r]
+		if res.CommTimes[r] <= 0 || res.ComputeTimes[r] <= 0 || res.IOTimes[r] <= 0 {
+			t.Fatalf("rank %d: some activity time is zero: %+v", r, res)
+		}
+		if sum > wall*(1+1e-9) {
+			t.Fatalf("rank %d: activities (%v) exceed wall (%v)", r, sum, wall)
+		}
+	}
+}
+
+func TestAllreduceLatencyBoundCrossPlatform(t *testing.T) {
+	// An 8-byte allreduce across 4 nodes must be far cheaper on Vayu than
+	// on DCC — the core finding behind the KSp section analysis.
+	cost := func(p *platform.Platform, np int) float64 {
+		res, err := RunOn(p, np, func(c *Comm) error {
+			for i := 0; i < 50; i++ {
+				c.AllreduceN(8)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time / 50
+	}
+	v := cost(platform.Vayu(), 32)
+	d := cost(platform.DCC(), 32)
+	if d < 5*v {
+		t.Fatalf("32-rank tiny allreduce: DCC %v vs Vayu %v; want DCC >> Vayu", d, v)
+	}
+}
+
+func TestOversubscriptionSlowsCompute(t *testing.T) {
+	// 16 ranks on one EC2 node (HT oversubscription) vs 16 ranks spread
+	// over 4 nodes: per-rank compute must be markedly slower when
+	// oversubscribed.
+	p := platform.EC2()
+	p.ComputeJitter.Sigma = 0
+	p.ComputeJitter.SpikeProb = 0
+	timeFor := func(nodes int, policy cluster.Policy) float64 {
+		pl, err := cluster.Place(p, cluster.Spec{NP: 16, Nodes: nodes, Policy: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewWorld(p, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := w.Run(func(c *Comm) error {
+			c.Compute(cpumodel.Work{Flops: 1e9})
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	packed := timeFor(1, cluster.Block)
+	spread := timeFor(4, cluster.Spread)
+	if ratio := packed / spread; ratio < 1.5 {
+		t.Fatalf("oversubscribed/spread compute ratio = %v, want >= 1.5", ratio)
+	}
+}
+
+func TestNUMAMaskingSlowsMemoryBoundOnDCC(t *testing.T) {
+	// Memory-bound work crossing the socket boundary is slower on DCC
+	// (hypervisor masks NUMA) than on Vayu with affinity, beyond the
+	// clock-ratio difference — the paper's CG-at-8-processes effect.
+	mem := cpumodel.Work{Bytes: 1e9}
+	timeFor := func(p *platform.Platform) float64 {
+		p.ComputeJitter.Sigma = 0
+		p.ComputeJitter.SpikeProb = 0
+		res, err := RunOn(p, 8, func(c *Comm) error {
+			c.Compute(mem)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	d := timeFor(platform.DCC())
+	v := timeFor(platform.Vayu())
+	if ratio := d / v; ratio < 1.4 {
+		t.Fatalf("DCC/Vayu memory-bound ratio at 8 ranks = %v, want >= 1.4 (NUMA penalty)", ratio)
+	}
+}
+
+type recordingTracer struct {
+	mu      sync.Mutex
+	calls   []CallRecord
+	regions []string
+}
+
+func (rt *recordingTracer) Call(rank int, rec CallRecord) {
+	rt.mu.Lock()
+	rt.calls = append(rt.calls, rec)
+	rt.mu.Unlock()
+}
+
+func (rt *recordingTracer) Advance(rank int, kind string, start, dur float64) {}
+
+func (rt *recordingTracer) Region(rank int, name string, at float64) {
+	rt.mu.Lock()
+	rt.regions = append(rt.regions, name)
+	rt.mu.Unlock()
+}
+
+func TestTracerSeesCollectivesNotInternals(t *testing.T) {
+	tr := &recordingTracer{}
+	pl, err := cluster.Place(platform.Vayu(), cluster.Spec{NP: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(platform.Vayu(), pl, WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(func(c *Comm) error {
+		c.Region("solve")
+		data := make([]float64, 1)
+		c.Allreduce(Sum, data)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.calls) != 8 {
+		t.Fatalf("got %d call records, want 8 (one Allreduce per rank, internals suppressed)", len(tr.calls))
+	}
+	for _, rec := range tr.calls {
+		if rec.Name != "Allreduce" {
+			t.Fatalf("unexpected traced call %q", rec.Name)
+		}
+		if rec.Region != "solve" {
+			t.Fatalf("call region = %q, want solve", rec.Region)
+		}
+		if rec.Dur < 0 {
+			t.Fatalf("negative duration %v", rec.Dur)
+		}
+	}
+	if len(tr.regions) != 8 {
+		t.Fatalf("got %d region events, want 8", len(tr.regions))
+	}
+}
+
+func TestClockMonotonicThroughMixedOps(t *testing.T) {
+	run(t, platform.EC2(), 8, func(c *Comm) error {
+		last := c.Clock()
+		step := func(what string) error {
+			if c.Clock() < last {
+				return fmt.Errorf("clock went backwards after %s: %v -> %v", what, last, c.Clock())
+			}
+			last = c.Clock()
+			return nil
+		}
+		for i := 0; i < 10; i++ {
+			c.Compute(cpumodel.Work{Flops: 1e6, Bytes: 1e6})
+			if err := step("compute"); err != nil {
+				return err
+			}
+			c.AllreduceN(8)
+			if err := step("allreduce"); err != nil {
+				return err
+			}
+			right := (c.Rank() + 1) % c.Size()
+			left := (c.Rank() - 1 + c.Size()) % c.Size()
+			c.SendrecvN(right, 2, 1024, left, 2)
+			if err := step("sendrecv"); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func TestNICSharingSlowsPackedNodes(t *testing.T) {
+	// 8 ranks per node sharing one GigE NIC must see far less per-rank
+	// bandwidth than 1 rank per node — the effect behind the paper's
+	// DCC scaling collapse at np=16.
+	p := platform.DCC()
+	perRank := func(nodes int, np int) float64 {
+		pl, err := cluster.Place(p, cluster.Spec{NP: np, Nodes: nodes, Policy: cluster.Spread})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewWorld(p, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// With Spread placement even ranks sit on node 0 and odd ranks on
+		// node 1; pair each even rank with the next odd rank.
+		elapsed := make([]float64, np)
+		if _, err := w.Run(func(c *Comm) error {
+			if c.Rank()%2 == 0 {
+				start := c.Clock()
+				c.SendN(c.Rank()+1, 0, 1<<20)
+				c.RecvN(c.Rank()+1, 1)
+				elapsed[c.Rank()] = c.Clock() - start
+			} else {
+				c.RecvN(c.Rank()-1, 0)
+				c.SendN(c.Rank()-1, 1, 4)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var mx float64
+		for _, v := range elapsed {
+			if v > mx {
+				mx = v
+			}
+		}
+		return mx
+	}
+	solo := perRank(2, 2)    // one rank per node
+	packed := perRank(2, 16) // eight ranks per node
+	if ratio := packed / solo; ratio < 4 {
+		t.Fatalf("packed/solo transfer-time ratio = %v, want >= 4 (NIC sharing)", ratio)
+	}
+}

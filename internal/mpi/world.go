@@ -1,0 +1,234 @@
+// Package mpi implements a message-passing runtime in the style of MPI,
+// executing on a modelled cluster platform under virtual time.
+//
+// Ranks are goroutines; point-to-point messages really move data between
+// them (eager protocol with source/tag matching), and collectives are
+// implemented algorithmically over point-to-point, so communication volume
+// and round counts match a real MPI library. Time, however, is virtual:
+// each rank carries a clock that advances by modelled computation cost
+// (package cpumodel), message injection/flight cost (package netmodel) and
+// I/O cost (package iomodel). Because every inter-rank dependency flows
+// through a real message that carries its virtual arrival time, the
+// resulting timestamps form a causally consistent conservative
+// discrete-event simulation.
+//
+// Misuse (rank out of range, type-mismatched receive, truncation) panics
+// with a descriptive message, mirroring MPI's error-aborts; World.Run
+// recovers per-rank panics into errors.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// Tracer observes per-rank activity. Implementations must tolerate
+// concurrent calls for different ranks; calls for one rank are sequential.
+type Tracer interface {
+	// Call records one completed communication operation.
+	Call(rank int, rec CallRecord)
+	// Advance records non-communication virtual time (kind is "compute" or
+	// "io") spent by rank starting at start.
+	Advance(rank int, kind string, start, dur float64)
+	// Region notes that rank entered the named profiling region at time at.
+	Region(rank int, name string, at float64)
+}
+
+// CallRecord describes one completed communication operation.
+type CallRecord struct {
+	Name   string  // operation name, e.g. "Send", "Allreduce"
+	Bytes  int     // payload bytes (per-rank contribution for collectives)
+	Start  float64 // virtual time at call entry
+	Dur    float64 // virtual duration of the call
+	Region string  // profiling region active during the call
+}
+
+// World is a communicator universe: np ranks placed on a platform.
+type World struct {
+	Platform  *platform.Platform
+	Placement *cluster.Placement
+
+	np      int
+	inboxes []*inbox
+	tracer  Tracer
+	seed    uint64
+	timeout time.Duration
+}
+
+// Option configures a World.
+type Option func(*World)
+
+// WithTracer attaches a tracer (e.g. the IPM profiler).
+func WithTracer(t Tracer) Option { return func(w *World) { w.tracer = t } }
+
+// WithSeed offsets all random streams, giving independent repetitions of
+// the same experiment (the paper runs each benchmark 5 times).
+func WithSeed(s uint64) Option { return func(w *World) { w.seed = s } }
+
+// WithTimeout bounds the real (wall-clock) execution time of Run; a run
+// exceeding it returns an error. The default is 5 minutes.
+func WithTimeout(d time.Duration) Option { return func(w *World) { w.timeout = d } }
+
+// NewWorld creates a world of pl.NP ranks on p.
+func NewWorld(p *platform.Platform, pl *cluster.Placement, opts ...Option) (*World, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if pl == nil || pl.NP <= 0 {
+		return nil, fmt.Errorf("mpi: placement with at least one rank required")
+	}
+	w := &World{
+		Platform:  p,
+		Placement: pl,
+		np:        pl.NP,
+		timeout:   5 * time.Minute,
+	}
+	for _, o := range opts {
+		o(w)
+	}
+	w.inboxes = make([]*inbox, w.np)
+	for i := range w.inboxes {
+		w.inboxes[i] = newInbox()
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.np }
+
+// Result summarises one completed run.
+type Result struct {
+	// Time is the job's virtual wall time: the maximum over ranks of the
+	// final clock (all ranks start at 0).
+	Time float64
+	// RankTimes holds each rank's final virtual clock.
+	RankTimes sim.Series
+	// CommTimes, ComputeTimes and IOTimes hold each rank's accumulated
+	// virtual time by activity.
+	CommTimes    sim.Series
+	ComputeTimes sim.Series
+	IOTimes      sim.Series
+}
+
+// Run executes fn once per rank and returns the aggregated result. Any
+// rank returning an error or panicking fails the whole run.
+func (w *World) Run(fn func(c *Comm) error) (*Result, error) {
+	comms := make([]*Comm, w.np)
+	group := make([]int, w.np)
+	for r := 0; r < w.np; r++ {
+		group[r] = r
+	}
+	for r := 0; r < w.np; r++ {
+		comms[r] = newComm(w, r, group)
+	}
+
+	errs := make([]error, w.np)
+	var wg sync.WaitGroup
+	wg.Add(w.np)
+	for r := 0; r < w.np; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+				}
+			}()
+			errs[rank] = fn(comms[rank])
+		}(r)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(w.timeout):
+		return nil, fmt.Errorf("mpi: run exceeded real-time limit %v (likely deadlock)", w.timeout)
+	}
+
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("mpi: rank %d: %w", r, err)
+		}
+	}
+
+	res := &Result{
+		RankTimes:    make(sim.Series, w.np),
+		CommTimes:    make(sim.Series, w.np),
+		ComputeTimes: make(sim.Series, w.np),
+		IOTimes:      make(sim.Series, w.np),
+	}
+	for r, c := range comms {
+		res.RankTimes[r] = c.st.clock
+		res.CommTimes[r] = c.st.commTime
+		res.ComputeTimes[r] = c.st.computeTime
+		res.IOTimes[r] = c.st.ioTime
+	}
+	res.Time = res.RankTimes.Max()
+	return res, nil
+}
+
+// RunOn is a convenience wrapper: place np ranks on p with the Block
+// policy and run fn.
+func RunOn(p *platform.Platform, np int, fn func(c *Comm) error, opts ...Option) (*Result, error) {
+	pl, err := cluster.Place(p, cluster.Spec{NP: np})
+	if err != nil {
+		return nil, err
+	}
+	w, err := NewWorld(p, pl, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return w.Run(fn)
+}
+
+// tee fans tracer callbacks out to multiple tracers.
+type tee []Tracer
+
+// Tee combines tracers (e.g. the IPM profiler plus a timeline recorder)
+// into one. Nil entries are skipped.
+func Tee(tracers ...Tracer) Tracer {
+	var ts tee
+	for _, t := range tracers {
+		if t != nil {
+			ts = append(ts, t)
+		}
+	}
+	return ts
+}
+
+// Call implements Tracer.
+func (ts tee) Call(rank int, rec CallRecord) {
+	for _, t := range ts {
+		t.Call(rank, rec)
+	}
+}
+
+// Advance implements Tracer.
+func (ts tee) Advance(rank int, kind string, start, dur float64) {
+	for _, t := range ts {
+		t.Advance(rank, kind, start, dur)
+	}
+}
+
+// Region implements Tracer.
+func (ts tee) Region(rank int, name string, at float64) {
+	for _, t := range ts {
+		t.Region(rank, name, at)
+	}
+}
+
+// Pending returns the number of sent-but-unmatched messages across all
+// ranks. After a well-formed program completes it must be zero: every
+// send was received. Useful as a post-run invariant check.
+func (w *World) Pending() int {
+	n := 0
+	for _, b := range w.inboxes {
+		n += b.pending()
+	}
+	return n
+}

@@ -1,0 +1,87 @@
+package netmodel
+
+import "repro/internal/sim"
+
+// The concrete link models below are calibrated against the OSU curves in
+// Figures 1 and 2 of the paper: peak bandwidths of ~3200 MB/s (Vayu QDR IB),
+// ~560 MB/s (EC2 10GigE under Xen) and ~190 MB/s (DCC channel-bonded GigE
+// vNIC), with microsecond-scale latency on InfiniBand, tens of microseconds
+// on EC2, and strongly fluctuating 50 µs – millisecond latency on DCC
+// caused by the VMware software switch.
+
+const mb = 1 << 20
+
+// QDRInfiniBand returns the Vayu fat-tree QDR IB model.
+func QDRInfiniBand() Link {
+	return Link{
+		Name:         "qdr-ib",
+		Latency:      1.6e-6,
+		Bandwidth:    3200 * mb,
+		SendOverhead: 0.4e-6,
+		RecvOverhead: 0.4e-6,
+		EagerLimit:   12 << 10,
+		Jitter:       sim.Jitter{Sigma: 0.03},
+	}
+}
+
+// TenGigEXen returns the EC2 cluster-placement-group 10GigE model, including
+// Xen driver-domain overhead and moderate virtualisation jitter.
+func TenGigEXen() Link {
+	return Link{
+		Name:         "10gige-xen",
+		Latency:      52e-6,
+		Bandwidth:    560 * mb,
+		SendOverhead: 5e-6,
+		RecvOverhead: 5e-6,
+		EagerLimit:   64 << 10,
+		Jitter: sim.Jitter{
+			Sigma:     0.12,
+			SpikeProb: 0.004,
+			SpikeMin:  100e-6,
+			SpikeMax:  2e-3,
+		},
+	}
+}
+
+// GigEVSwitch returns the DCC model: an Intel E1000 1GigE vNIC behind a
+// VMware virtual switch. The paper observed latencies fluctuating from 1 B
+// to 512 KB messages, attributed to hypervisor CPU scheduling of the
+// software switch; the heavy-tailed jitter term models that.
+func GigEVSwitch() Link {
+	return Link{
+		Name:          "gige-vswitch",
+		Latency:       58e-6,
+		Bandwidth:     190 * mb,
+		SendOverhead:  8e-6,
+		RecvOverhead:  8e-6,
+		EagerLimit:    32 << 10,
+		ShareExponent: 1.9,
+		Jitter: sim.Jitter{
+			Sigma:     0.45,
+			AddMean:   12e-6,
+			SpikeProb: 0.02,
+			SpikeMin:  200e-6,
+			SpikeMax:  5e-3,
+		},
+	}
+}
+
+// SharedMemory returns the intra-node transport model used when both ranks
+// are placed on the same node. virtualised adds a small hypervisor tax on
+// latency for guest-VM platforms.
+func SharedMemory(virtualised bool) Link {
+	l := Link{
+		Name:         "shm",
+		Latency:      0.6e-6,
+		Bandwidth:    4500 * mb,
+		SendOverhead: 0.2e-6,
+		RecvOverhead: 0.2e-6,
+		Jitter:       sim.Jitter{Sigma: 0.02},
+	}
+	if virtualised {
+		l.Name = "shm-virt"
+		l.Latency = 1.0e-6
+		l.Jitter = sim.Jitter{Sigma: 0.05}
+	}
+	return l
+}

@@ -1,0 +1,117 @@
+// Package bt implements the communication skeleton of the NPB BT
+// pseudo-application: an ADI scheme solving block-tridiagonal systems
+// along each spatial dimension per timestep over a square process grid,
+// with forward-substitution and back-substitution chains that pipeline
+// face-sized messages — the heaviest benchmark in the suite (the longest
+// class-B serial runtime after SP).
+//
+// BT is skeleton-only in this reproduction; see DESIGN.md and package lu.
+package bt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cpumodel"
+	"repro/internal/mpi"
+	"repro/internal/npb"
+)
+
+const (
+	tagFwd  = 41
+	tagBack = 44
+	tagHalo = 47
+)
+
+// SquareSide returns q for np = q*q, or an error.
+func SquareSide(np int) (int, error) {
+	q := int(math.Round(math.Sqrt(float64(np))))
+	if q*q != np {
+		return 0, fmt.Errorf("need a square process count, got %d", np)
+	}
+	return q, nil
+}
+
+// SweepChain runs one forward+backward substitution sweep along a ring of
+// q ranks, the multipartition schedule of bt.f: each rank owns one cell on
+// every diagonal, so during each of the q phases every rank computes a
+// cell's share and passes a face to the next rank — no rank idles waiting
+// for a pipeline to fill. `work` is the whole per-direction compute
+// charge, split across phases. Shared with package sp.
+func SweepChain(c *mpi.Comm, tag, q, prevRing, nextRing, msgBytes int, work cpumodel.Work) {
+	perPhase := work.Scale(1 / float64(2*q))
+	// Forward substitution phases.
+	for ph := 0; ph < q; ph++ {
+		c.Compute(perPhase)
+		if q > 1 {
+			c.SendN(nextRing, tag, msgBytes)
+			c.RecvN(prevRing, tag)
+		}
+	}
+	// Back substitution phases (messages flow the other way).
+	for ph := 0; ph < q; ph++ {
+		c.Compute(perPhase)
+		if q > 1 {
+			c.SendN(prevRing, tag+1, msgBytes)
+			c.RecvN(nextRing, tag+1)
+		}
+	}
+}
+
+// Skeleton replays BT's per-timestep structure: an RHS halo refresh and
+// three ADI sweeps (x, y, z) with pipelined substitution chains.
+func Skeleton(c *mpi.Comm, class npb.Class) error {
+	np := c.Size()
+	q, err := SquareSide(np)
+	if err != nil {
+		return fmt.Errorf("bt: %w", err)
+	}
+	p := npb.BTParamsFor(class)
+	total, werr := npb.TotalWork("bt", class)
+	if werr != nil {
+		return werr
+	}
+	perIter := total.Scale(1 / float64(np) / float64(p.Niter))
+
+	rx, ry := c.Rank()%q, c.Rank()/q
+	cell := p.N / q
+	if cell < 1 {
+		cell = 1
+	}
+	faceBytes := 5 * 8 * cell * cell // 5 solution components per face cell
+
+	// Ring neighbours along the grid row and column (the multipartition's
+	// cell hand-off order).
+	rowPrev := ry*q + (rx-1+q)%q
+	rowNext := ry*q + (rx+1)%q
+	colPrev := ((ry-1+q)%q)*q + rx
+	colNext := ((ry+1)%q)*q + rx
+
+	// Per-iteration budget: 20% RHS, 80% split over three sweeps.
+	rhsWork := perIter.Scale(0.2)
+	sweepWork := perIter.Scale(0.8 / 3)
+
+	for iter := 0; iter < p.Niter; iter++ {
+		// RHS halo exchange with all four neighbours (periodic in the
+		// multipartition layout).
+		east := ry*q + (rx+1)%q
+		west := ry*q + (rx-1+q)%q
+		south := ((ry+1)%q)*q + rx
+		north := ((ry-1+q)%q)*q + rx
+		if q > 1 {
+			c.SendrecvN(east, tagHalo, faceBytes, west, tagHalo)
+			c.SendrecvN(west, tagHalo+1, faceBytes, east, tagHalo+1)
+			c.SendrecvN(south, tagHalo+2, faceBytes, north, tagHalo+2)
+			c.SendrecvN(north, tagHalo+3, faceBytes, south, tagHalo+3)
+		}
+		c.Compute(rhsWork)
+
+		// x-solve along grid rows, y-solve along columns, z-solve along
+		// rows again (the multipartition's diagonal wrap).
+		SweepChain(c, tagFwd, q, rowPrev, rowNext, faceBytes, sweepWork)
+		SweepChain(c, tagFwd+10, q, colPrev, colNext, faceBytes, sweepWork)
+		SweepChain(c, tagFwd+20, q, rowPrev, rowNext, faceBytes, sweepWork)
+	}
+	c.AllreduceN(40) // final residual norms
+	return nil
+}

@@ -1,0 +1,71 @@
+package bt
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/npb"
+	"repro/internal/platform"
+)
+
+func TestSquareSide(t *testing.T) {
+	for np, q := range map[int]int{1: 1, 4: 2, 9: 3, 16: 4, 25: 5, 36: 6, 49: 7, 64: 8} {
+		got, err := SquareSide(np)
+		if err != nil || got != q {
+			t.Errorf("SquareSide(%d) = %d, %v; want %d", np, got, err, q)
+		}
+	}
+	for _, np := range []int{2, 8, 32, 50} {
+		if _, err := SquareSide(np); err == nil {
+			t.Errorf("SquareSide(%d) should fail", np)
+		}
+	}
+}
+
+func TestSerialCalibration(t *testing.T) {
+	res, err := mpi.RunOn(platform.DCC(), 1, func(c *mpi.Comm) error {
+		return Skeleton(c, npb.ClassB)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time < 1570 || res.Time > 1850 {
+		t.Fatalf("BT.B.1 on DCC = %.0f s, want ~1696.9", res.Time)
+	}
+}
+
+func TestMultipartitionKeepsRanksBusy(t *testing.T) {
+	// Unlike a naive pipeline, the multipartition schedule should scale
+	// well on the low-latency platform: BT.B.36 on Vayu above 70%
+	// efficiency.
+	st := func(np int) float64 {
+		res, err := mpi.RunOn(platform.Vayu(), np, func(c *mpi.Comm) error {
+			return Skeleton(c, npb.ClassB)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	eff := st(1) / st(36) / 36
+	if eff < 0.7 {
+		t.Fatalf("BT.B.36 efficiency on Vayu = %.2f, want >= 0.7", eff)
+	}
+}
+
+func TestLatencySensitiveOnDCC(t *testing.T) {
+	st := func(p *platform.Platform) (time, comm float64) {
+		res, err := mpi.RunOn(p, 36, func(c *mpi.Comm) error {
+			return Skeleton(c, npb.ClassB)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time, res.CommTimes.Sum() / res.RankTimes.Sum()
+	}
+	_, dccComm := st(platform.DCC())
+	_, vayuComm := st(platform.Vayu())
+	if dccComm < 5*vayuComm {
+		t.Fatalf("BT comm fraction on DCC (%.3f) should dwarf Vayu's (%.3f)", dccComm, vayuComm)
+	}
+}

@@ -1,0 +1,184 @@
+package cg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/npb"
+	"repro/internal/platform"
+)
+
+func runCG(t *testing.T, np int, class npb.Class) *Result {
+	t.Helper()
+	var out *Result
+	_, err := mpi.RunOn(platform.Vayu(), np, func(c *mpi.Comm) error {
+		r, err := Run(c, class)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			out = r
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSerialConverges(t *testing.T) {
+	r := runCG(t, 1, npb.ClassS)
+	if math.IsNaN(r.Zeta) || math.IsInf(r.Zeta, 0) {
+		t.Fatalf("zeta = %v", r.Zeta)
+	}
+	// zeta = shift + 1/(x.z): the power iteration drives x to the
+	// smallest eigenvector of A, whose eigenvalue is ~shift+1 for our
+	// diagonally dominant matrix, so zeta converges near 2*shift+1.
+	p := npb.CGParamsFor(npb.ClassS)
+	if r.Zeta < 2*p.Shift || r.Zeta > 2*p.Shift+2 {
+		t.Fatalf("zeta = %v, want in [%v, %v]", r.Zeta, 2*p.Shift, 2*p.Shift+2)
+	}
+	// CG on an SPD system must have reduced the residual well below the
+	// initial norm sqrt(na).
+	if r.RNorm > math.Sqrt(float64(p.NA))*1e-6 {
+		t.Fatalf("residual norm %v too large — CG not converging", r.RNorm)
+	}
+}
+
+func TestParallelMatchesSerialZeta(t *testing.T) {
+	serial := runCG(t, 1, npb.ClassS)
+	for _, np := range []int{2, 4, 8} {
+		par := runCG(t, np, npb.ClassS)
+		if math.Abs(par.Zeta-serial.Zeta) > 1e-9*math.Abs(serial.Zeta) {
+			t.Fatalf("np=%d: zeta %v != serial %v", np, par.Zeta, serial.Zeta)
+		}
+	}
+}
+
+func TestGoldenVerification(t *testing.T) {
+	serial := runCG(t, 1, npb.ClassS)
+	SetReference(npb.ClassS, serial.Zeta)
+	again := runCG(t, 4, npb.ClassS)
+	if !again.Verified {
+		t.Fatalf("golden verification failed: %s", again.VerifyMsg)
+	}
+	SetReference(npb.ClassS, serial.Zeta*1.001)
+	bad := runCG(t, 2, npb.ClassS)
+	if bad.Verified {
+		t.Fatal("corrupted golden should fail verification")
+	}
+	delete(zetaReference, npb.ClassS)
+}
+
+func TestRejectsNonPowerOfTwo(t *testing.T) {
+	_, err := mpi.RunOn(platform.Vayu(), 3, func(c *mpi.Comm) error {
+		_, err := Run(c, npb.ClassS)
+		return err
+	})
+	if err == nil {
+		t.Fatal("np=3 should be rejected")
+	}
+}
+
+func TestMatrixIsSymmetricAndDominant(t *testing.T) {
+	p := npb.CGParamsFor(npb.ClassS)
+	m := buildMatrix(p, 1, 0)
+	// Collect entries into a dense map to check symmetry.
+	entries := map[[2]int]float64{}
+	for row := range m.cols {
+		i := m.lo + row
+		var diag, off float64
+		for k, j := range m.cols[row] {
+			entries[[2]int{i, int(j)}] += m.vals[row][k]
+			if int(j) == i {
+				diag += m.vals[row][k]
+			} else {
+				off += math.Abs(m.vals[row][k])
+			}
+		}
+		if diag <= off {
+			t.Fatalf("row %d not diagonally dominant: diag=%v off=%v", i, diag, off)
+		}
+	}
+	for key, v := range entries {
+		if key[0] == key[1] {
+			continue
+		}
+		tv, ok := entries[[2]int{key[1], key[0]}]
+		if !ok || math.Abs(tv-v) > 1e-12 {
+			t.Fatalf("asymmetric entry (%d,%d)=%v vs (%d,%d)=%v", key[0], key[1], v, key[1], key[0], tv)
+		}
+	}
+}
+
+func TestRowRangePartition(t *testing.T) {
+	// Row ranges must tile [0, na) exactly for any np.
+	for _, na := range []int{10, 1400, 75000} {
+		for _, np := range []int{1, 2, 4, 8, 16, 64} {
+			if np > na {
+				continue
+			}
+			next := 0
+			for r := 0; r < np; r++ {
+				lo, hi := rowRange(na, np, r)
+				if lo != next || hi < lo {
+					t.Fatalf("na=%d np=%d rank=%d: range [%d,%d), expected lo=%d", na, np, r, lo, hi, next)
+				}
+				next = hi
+			}
+			if next != na {
+				t.Fatalf("na=%d np=%d: ranges cover %d rows", na, np, next)
+			}
+		}
+	}
+}
+
+func TestSkeletonCalibration(t *testing.T) {
+	res, err := mpi.RunOn(platform.DCC(), 1, func(c *mpi.Comm) error {
+		return Skeleton(c, npb.ClassB)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time < 210 || res.Time > 280 {
+		t.Fatalf("CG.B.1 on DCC = %.1f s, want ~244.9", res.Time)
+	}
+}
+
+func TestSkeletonDCCNUMADip(t *testing.T) {
+	// The paper: CG speedup on DCC drops at 8 processes (NUMA masked).
+	// Efficiency at np=8 on DCC must be clearly below Vayu's.
+	eff := func(p *platform.Platform) float64 {
+		t1 := skelTime(t, p, 1)
+		t8 := skelTime(t, p, 8)
+		return t1 / t8 / 8
+	}
+	dcc := eff(platform.DCC())
+	vayu := eff(platform.Vayu())
+	if dcc >= vayu-0.1 {
+		t.Fatalf("CG 8-rank efficiency dcc=%.2f vayu=%.2f; want a visible DCC NUMA dip", dcc, vayu)
+	}
+}
+
+func skelTime(t *testing.T, p *platform.Platform, np int) float64 {
+	t.Helper()
+	res, err := mpi.RunOn(p, np, func(c *mpi.Comm) error {
+		return Skeleton(c, npb.ClassB)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Time
+}
+
+func TestSkeletonVayuScalesBetterThanDCC(t *testing.T) {
+	speedup := func(p *platform.Platform) float64 {
+		return skelTime(t, p, 1) / skelTime(t, p, 32)
+	}
+	v, d := speedup(platform.Vayu()), speedup(platform.DCC())
+	if v <= d {
+		t.Fatalf("CG speedup at 32: vayu=%.1f dcc=%.1f; Vayu must scale better", v, d)
+	}
+}

@@ -1,0 +1,150 @@
+// Package ep implements the NPB EP (embarrassingly parallel) kernel: 2^M
+// pairs of Gaussian deviates generated with the Marsaglia polar method
+// from the NPB linear congruential stream, with per-annulus counts and the
+// coordinate sums verified against the reference values of the Fortran
+// suite.
+package ep
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mpi"
+	"repro/internal/npb"
+)
+
+const (
+	mk = 16      // log2 of pairs per batch
+	nk = 1 << mk // pairs per batch
+	nq = 10      // annulus count bins
+)
+
+// Result holds the kernel outputs.
+type Result struct {
+	Class     npb.Class
+	Sx, Sy    float64
+	Counts    [nq]float64 // Gaussian pairs per annulus
+	Pairs     float64     // accepted pairs
+	Verified  bool
+	VerifyMsg string
+	Time      float64 // virtual seconds (job wall at the final rank)
+}
+
+// reference sums from the NPB 3.3 verification tables.
+var reference = map[npb.Class][2]float64{
+	npb.ClassS: {-3.247834652034740e3, -6.958407078382297e3},
+	npb.ClassW: {-2.863319731645753e3, -6.320053679109499e3},
+	npb.ClassA: {-4.295875165629892e3, -1.580732573678431e4},
+	npb.ClassB: {4.033815542441498e4, -2.660669192809235e4},
+	npb.ClassC: {4.764367927995374e4, -8.084072988043731e4},
+}
+
+// Run executes EP at the given class on the communicator. Every rank
+// returns the same verified result.
+func Run(c *mpi.Comm, class npb.Class) (*Result, error) {
+	m := npb.EPParamsFor(class)
+	if m <= mk {
+		return nil, fmt.Errorf("ep: class %s too small for batched run", class)
+	}
+	nn := 1 << (m - mk) // batches
+	np := c.Size()
+	if np > nn {
+		return nil, fmt.Errorf("ep: %d ranks exceed %d batches for class %s", np, nn, class)
+	}
+
+	total, err := npb.TotalWork("ep", class)
+	if err != nil {
+		return nil, err
+	}
+	perBatch := total.Scale(1 / float64(nn))
+
+	var sx, sy, pairs float64
+	var q [nq]float64
+	x := make([]float64, 2*nk)
+
+	base := npb.NewLCG(npb.EPSeed)
+	for g := c.Rank(); g < nn; g += np {
+		// Jump the stream to this batch's subsequence and generate it.
+		stream := base.Jump(uint64(g) * 2 * nk)
+		stream.Fill(x)
+		for i := 0; i < nk; i++ {
+			x1 := 2*x[2*i] - 1
+			x2 := 2*x[2*i+1] - 1
+			t := x1*x1 + x2*x2
+			if t <= 1 {
+				f := math.Sqrt(-2 * math.Log(t) / t)
+				t3 := x1 * f
+				t4 := x2 * f
+				l := int(math.Max(math.Abs(t3), math.Abs(t4)))
+				if l < nq {
+					q[l]++
+				}
+				sx += t3
+				sy += t4
+				pairs++
+			}
+		}
+		c.Compute(perBatch)
+	}
+
+	// Combine: two sums, the annulus counts and the accepted-pair count —
+	// the same three all-reduces as ep.f.
+	sums := []float64{sx, sy}
+	c.Allreduce(mpi.Sum, sums)
+	counts := append([]float64(nil), q[:]...)
+	c.Allreduce(mpi.Sum, counts)
+	cnt := []float64{pairs}
+	c.Allreduce(mpi.Sum, cnt)
+
+	res := &Result{Class: class, Sx: sums[0], Sy: sums[1], Pairs: cnt[0], Time: c.Clock()}
+	copy(res.Counts[:], counts)
+	ref, ok := reference[class]
+	if !ok {
+		res.VerifyMsg = "no reference values for class"
+		return res, nil
+	}
+	errX := math.Abs((res.Sx - ref[0]) / ref[0])
+	errY := math.Abs((res.Sy - ref[1]) / ref[1])
+	if errX <= 1e-8 && errY <= 1e-8 {
+		res.Verified = true
+		res.VerifyMsg = "VERIFICATION SUCCESSFUL"
+	} else {
+		res.VerifyMsg = fmt.Sprintf("verification failed: sx=%v (want %v), sy=%v (want %v)",
+			res.Sx, ref[0], res.Sy, ref[1])
+	}
+	return res, nil
+}
+
+// Skeleton replays EP's communication pattern (three small all-reduces
+// after an embarrassingly parallel phase) and charges the calibrated
+// class work without generating numbers. The compute phase is charged in
+// batch-sized chunks so platform jitter accumulates realistically.
+func Skeleton(c *mpi.Comm, class npb.Class) error {
+	m := npb.EPParamsFor(class)
+	nn := 1 << (m - mk)
+	np := c.Size()
+	total, err := npb.TotalWork("ep", class)
+	if err != nil {
+		return err
+	}
+	perBatch := total.Scale(1 / float64(nn))
+	myBatches := 0
+	for g := c.Rank(); g < nn; g += np {
+		myBatches++
+	}
+	// Charge in at most 64 chunks to keep skeletons cheap at class B.
+	chunks := myBatches
+	if chunks > 64 {
+		chunks = 64
+	}
+	if chunks > 0 {
+		per := perBatch.Scale(float64(myBatches) / float64(chunks))
+		for i := 0; i < chunks; i++ {
+			c.Compute(per)
+		}
+	}
+	c.AllreduceN(16)     // sx, sy
+	c.AllreduceN(8 * nq) // annulus counts
+	c.AllreduceN(8)      // accepted pairs
+	return nil
+}

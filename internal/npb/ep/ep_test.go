@@ -1,0 +1,130 @@
+package ep
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/npb"
+	"repro/internal/platform"
+)
+
+func runEP(t *testing.T, np int, class npb.Class) *Result {
+	t.Helper()
+	var out *Result
+	_, err := mpi.RunOn(platform.Vayu(), np, func(c *mpi.Comm) error {
+		r, err := Run(c, class)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			out = r
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestClassSVerifies(t *testing.T) {
+	r := runEP(t, 1, npb.ClassS)
+	if !r.Verified {
+		t.Fatalf("class S failed verification: %s", r.VerifyMsg)
+	}
+}
+
+func TestClassWVerifies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class W in -short mode")
+	}
+	r := runEP(t, 2, npb.ClassW)
+	if !r.Verified {
+		t.Fatalf("class W failed verification: %s", r.VerifyMsg)
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	serial := runEP(t, 1, npb.ClassS)
+	for _, np := range []int{2, 4, 8} {
+		par := runEP(t, np, npb.ClassS)
+		if !par.Verified {
+			t.Fatalf("np=%d failed verification: %s", np, par.VerifyMsg)
+		}
+		// Counts are integers: must agree exactly regardless of summation
+		// order.
+		if par.Counts != serial.Counts {
+			t.Fatalf("np=%d annulus counts differ: %v vs %v", np, par.Counts, serial.Counts)
+		}
+		if par.Pairs != serial.Pairs {
+			t.Fatalf("np=%d accepted pairs %v != %v", np, par.Pairs, serial.Pairs)
+		}
+	}
+}
+
+func TestGaussianAcceptanceRate(t *testing.T) {
+	// The polar method accepts pi/4 of pairs.
+	r := runEP(t, 1, npb.ClassS)
+	total := float64(int(1) << npb.EPParamsFor(npb.ClassS))
+	rate := r.Pairs / total
+	if rate < 0.77 || rate > 0.80 {
+		t.Fatalf("acceptance rate = %v, want ~0.785", rate)
+	}
+}
+
+func TestTooManyRanks(t *testing.T) {
+	// Class S has 2^8 batches; 512 ranks must be rejected (detected before
+	// any communication, on every rank).
+	_, err := mpi.RunOn(platform.Vayu(), 4, func(c *mpi.Comm) error {
+		_, err := Run(c, npb.ClassS)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("4 ranks should be fine: %v", err)
+	}
+}
+
+func TestSkeletonRuns(t *testing.T) {
+	for _, np := range []int{1, 2, 8, 16} {
+		res, err := mpi.RunOn(platform.DCC(), np, func(c *mpi.Comm) error {
+			return Skeleton(c, npb.ClassB)
+		})
+		if err != nil {
+			t.Fatalf("np=%d: %v", np, err)
+		}
+		if res.Time <= 0 {
+			t.Fatalf("np=%d: zero virtual time", np)
+		}
+	}
+}
+
+func TestSkeletonSerialTimeMatchesCalibration(t *testing.T) {
+	// Class B serial on DCC should land near the measured 141.5 s.
+	res, err := mpi.RunOn(platform.DCC(), 1, func(c *mpi.Comm) error {
+		return Skeleton(c, npb.ClassB)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time < 120 || res.Time > 165 {
+		t.Fatalf("EP.B.1 on DCC = %.1f s, want ~141.5", res.Time)
+	}
+}
+
+func TestSkeletonScalesNearLinearly(t *testing.T) {
+	timeAt := func(np int) float64 {
+		res, err := mpi.RunOn(platform.Vayu(), np, func(c *mpi.Comm) error {
+			return Skeleton(c, npb.ClassB)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	t1 := timeAt(1)
+	t32 := timeAt(32)
+	speedup := t1 / t32
+	if speedup < 24 {
+		t.Fatalf("EP speedup at 32 ranks = %.1f, want near-linear (>24)", speedup)
+	}
+}

@@ -1,0 +1,126 @@
+// Package lu implements the communication skeleton of the NPB LU
+// pseudo-application: an SSOR solver whose lower- and upper-triangular
+// sweeps form software pipelines over a 2D process grid, exchanging small
+// per-plane face messages — the latency-sensitive wavefront pattern that
+// (per the paper) trails on the virtualised clusters like BT, MG and SP.
+//
+// LU, BT and SP are skeleton-only in this reproduction (the full ADI/SSOR
+// solvers are thousands of lines of Fortran whose numerics do not affect
+// the paper's measurements); the skeletons replay the sweep structure with
+// phantom messages and calibrated work. See DESIGN.md.
+package lu
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/npb"
+)
+
+const (
+	tagEast  = 31
+	tagSouth = 32
+	tagWest  = 33
+	tagNorth = 34
+	tagHalo  = 35
+)
+
+// gridOf returns the 2D process grid for np ranks (NPB LU: power-of-two
+// grid with xdim >= ydim).
+func gridOf(np int) (px, py int) {
+	px, py = 1, 1
+	for px*py < np {
+		if px <= py {
+			px <<= 1
+		} else {
+			py <<= 1
+		}
+	}
+	return px, py
+}
+
+// Skeleton replays LU's per-iteration structure: a pipelined lower sweep
+// (west/north to east/south), a pipelined upper sweep (reversed), and a
+// halo refresh, with norms reduced at start and end only (as in lu.f).
+func Skeleton(c *mpi.Comm, class npb.Class) error {
+	np := c.Size()
+	if !npb.ValidProcs("lu", np) {
+		return fmt.Errorf("lu: %d processes (want a power of two)", np)
+	}
+	p := npb.LUParamsFor(class)
+	total, err := npb.TotalWork("lu", class)
+	if err != nil {
+		return err
+	}
+	perIter := total.Scale(1 / float64(np) / float64(p.Niter))
+
+	px, py := gridOf(np)
+	rx, ry := c.Rank()%px, c.Rank()/px
+	nx, ny, nz := p.N/px, p.N/py, p.N
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	eastB := 5 * 8 * ny  // pencil face along x per plane
+	southB := 5 * 8 * nx // pencil face along y per plane
+
+	// Charge the sweep work in plane-sized chunks so the pipeline fill
+	// time is modelled; batch planes to keep the skeleton cheap.
+	const planeBatch = 4 // planes advanced per pipeline stage (wavefront blocking)
+	stages := (nz + planeBatch - 1) / planeBatch
+	perStage := perIter.Scale(0.42 / float64(stages))
+
+	c.AllreduceN(40) // initial residual norms (5 doubles)
+	for iter := 0; iter < p.Niter; iter++ {
+		// Lower-triangular sweep: dependencies flow from (0,0).
+		for k := 0; k < stages; k++ {
+			if rx > 0 {
+				c.RecvN(c.Rank()-1, tagEast)
+			}
+			if ry > 0 {
+				c.RecvN(c.Rank()-px, tagSouth)
+			}
+			c.Compute(perStage)
+			if rx < px-1 {
+				c.SendN(c.Rank()+1, tagEast, eastB*planeBatch)
+			}
+			if ry < py-1 {
+				c.SendN(c.Rank()+px, tagSouth, southB*planeBatch)
+			}
+		}
+		// Upper-triangular sweep: dependencies flow from (px-1,py-1).
+		for k := 0; k < stages; k++ {
+			if rx < px-1 {
+				c.RecvN(c.Rank()+1, tagWest)
+			}
+			if ry < py-1 {
+				c.RecvN(c.Rank()+px, tagNorth)
+			}
+			c.Compute(perStage)
+			if rx > 0 {
+				c.SendN(c.Rank()-1, tagWest, eastB*planeBatch)
+			}
+			if ry > 0 {
+				c.SendN(c.Rank()-px, tagNorth, southB*planeBatch)
+			}
+		}
+		// RHS halo refresh: full faces in both grid dimensions.
+		if px > 1 {
+			east := ry*px + (rx+1)%px
+			west := ry*px + (rx-1+px)%px
+			c.SendrecvN(east, tagHalo, 5*8*ny*nz, west, tagHalo)
+			c.SendrecvN(west, tagHalo+1, 5*8*ny*nz, east, tagHalo+1)
+		}
+		if py > 1 {
+			south := ((ry+1)%py)*px + rx
+			north := ((ry-1+py)%py)*px + rx
+			c.SendrecvN(south, tagHalo+2, 5*8*nx*nz, north, tagHalo+2)
+			c.SendrecvN(north, tagHalo+3, 5*8*nx*nz, south, tagHalo+3)
+		}
+		c.Compute(perIter.Scale(0.16))
+	}
+	c.AllreduceN(40) // final norms
+	return nil
+}

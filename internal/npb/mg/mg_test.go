@@ -1,0 +1,130 @@
+package mg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/npb"
+	"repro/internal/platform"
+)
+
+func runMG(t *testing.T, np int, class npb.Class) *Result {
+	t.Helper()
+	var out *Result
+	_, err := mpi.RunOn(platform.Vayu(), np, func(c *mpi.Comm) error {
+		r, err := Run(c, class)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			out = r
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestFactor3(t *testing.T) {
+	cases := map[int][3]int{
+		1:  {1, 1, 1},
+		2:  {2, 1, 1},
+		4:  {2, 2, 1},
+		8:  {2, 2, 2},
+		16: {4, 2, 2},
+		32: {4, 4, 2},
+		64: {4, 4, 4},
+	}
+	for np, want := range cases {
+		px, py, pz := factor3(np)
+		if px*py*pz != np {
+			t.Fatalf("np=%d: %d*%d*%d != np", np, px, py, pz)
+		}
+		got := [3]int{px, py, pz}
+		if got != want {
+			t.Fatalf("np=%d: factors %v, want %v", np, got, want)
+		}
+	}
+}
+
+func TestResidualDecreases(t *testing.T) {
+	r := runMG(t, 1, npb.ClassS)
+	if r.InitNorm <= 0 {
+		t.Fatalf("initial norm = %v", r.InitNorm)
+	}
+	if r.RNorm >= r.InitNorm {
+		t.Fatalf("V-cycles did not reduce the residual: %v -> %v", r.InitNorm, r.RNorm)
+	}
+	if r.RNorm > 0.2*r.InitNorm {
+		t.Fatalf("poor multigrid convergence: %v -> %v after %d cycles",
+			r.InitNorm, r.RNorm, npb.MGParamsFor(npb.ClassS).Niter)
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	serial := runMG(t, 1, npb.ClassS)
+	for _, np := range []int{2, 4, 8} {
+		par := runMG(t, np, npb.ClassS)
+		if math.Abs(par.RNorm-serial.RNorm) > 1e-9*serial.InitNorm {
+			t.Fatalf("np=%d: residual %v != serial %v", np, par.RNorm, serial.RNorm)
+		}
+		if math.Abs(par.InitNorm-serial.InitNorm) > 1e-9*serial.InitNorm {
+			t.Fatalf("np=%d: initial norm %v != serial %v", np, par.InitNorm, serial.InitNorm)
+		}
+	}
+}
+
+func TestGoldenVerification(t *testing.T) {
+	serial := runMG(t, 1, npb.ClassS)
+	SetReference(npb.ClassS, serial.RNorm)
+	again := runMG(t, 8, npb.ClassS)
+	if !again.Verified {
+		t.Fatalf("golden verification failed: %s", again.VerifyMsg)
+	}
+	delete(rnormReference, npb.ClassS)
+}
+
+func TestRejectsBadNP(t *testing.T) {
+	_, err := mpi.RunOn(platform.Vayu(), 6, func(c *mpi.Comm) error {
+		_, err := Run(c, npb.ClassS)
+		return err
+	})
+	if err == nil {
+		t.Fatal("np=6 should be rejected")
+	}
+}
+
+func TestSkeletonCalibration(t *testing.T) {
+	res, err := mpi.RunOn(platform.DCC(), 1, func(c *mpi.Comm) error {
+		return Skeleton(c, npb.ClassB)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time < 60 || res.Time > 85 {
+		t.Fatalf("MG.B.1 on DCC = %.1f s, want ~72", res.Time)
+	}
+}
+
+func TestSkeletonVayuScalesBest(t *testing.T) {
+	st := func(p *platform.Platform, np int) float64 {
+		res, err := mpi.RunOn(p, np, func(c *mpi.Comm) error {
+			return Skeleton(c, npb.ClassB)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	v := st(platform.Vayu(), 1) / st(platform.Vayu(), 64)
+	d := st(platform.DCC(), 1) / st(platform.DCC(), 64)
+	if v <= d {
+		t.Fatalf("MG speedup at 64: vayu=%.1f dcc=%.1f; Vayu must lead", v, d)
+	}
+	if v < 20 {
+		t.Fatalf("Vayu MG speedup at 64 = %.1f, want strong scaling", v)
+	}
+}

@@ -1,0 +1,188 @@
+package npb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLCGMatchesDefinition(t *testing.T) {
+	// First few states of x_{k+1} = 5^13 x_k mod 2^46 from x_0 = 314159265.
+	g := NewLCG(314159265)
+	x := uint64(314159265)
+	for i := 0; i < 100; i++ {
+		x = (x * LCGMultiplier) & (1<<46 - 1)
+		v := g.Next()
+		if g.Seed() != x {
+			t.Fatalf("state diverged at step %d: %d vs %d", i, g.Seed(), x)
+		}
+		if v <= 0 || v >= 1 {
+			t.Fatalf("variate %v out of (0,1)", v)
+		}
+	}
+}
+
+func TestJumpEquivalence(t *testing.T) {
+	// Jump(n) must equal n sequential steps.
+	prop := func(nRaw uint16, seedRaw uint32) bool {
+		n := uint64(nRaw % 5000)
+		seed := uint64(seedRaw) | 1
+		a := NewLCG(seed)
+		for i := uint64(0); i < n; i++ {
+			a.Next()
+		}
+		b := NewLCG(seed).Jump(n)
+		return a.Seed() == b.Seed()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJumpComposition(t *testing.T) {
+	g := NewLCG(EPSeed)
+	if g.Jump(1000).Jump(234).Seed() != g.Jump(1234).Seed() {
+		t.Fatal("jumps do not compose")
+	}
+}
+
+func TestPowMulIdentity(t *testing.T) {
+	if PowMul(0) != 1 {
+		t.Fatal("a^0 != 1")
+	}
+	if PowMul(1) != LCGMultiplier {
+		t.Fatal("a^1 != a")
+	}
+}
+
+func TestLCGUniformity(t *testing.T) {
+	g := NewLCG(EPSeed)
+	var sum float64
+	const n = 1 << 20
+	for i := 0; i < n; i++ {
+		sum += g.Next()
+	}
+	mean := sum / n
+	if mean < 0.498 || mean > 0.502 {
+		t.Fatalf("LCG mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	for _, s := range []string{"S", "W", "A", "B", "C"} {
+		c, err := ParseClass(s)
+		if err != nil || c.String() != s {
+			t.Fatalf("ParseClass(%q) = %v, %v", s, c, err)
+		}
+	}
+	for _, s := range []string{"", "D", "sb", "b"} {
+		if _, err := ParseClass(s); err == nil {
+			t.Fatalf("ParseClass(%q) should fail", s)
+		}
+	}
+}
+
+func TestValidProcs(t *testing.T) {
+	cases := []struct {
+		name string
+		np   int
+		ok   bool
+	}{
+		{"ep", 3, true}, {"ep", 64, true},
+		{"cg", 2, true}, {"cg", 3, false}, {"cg", 64, true},
+		{"ft", 16, true}, {"ft", 24, false},
+		{"bt", 1, true}, {"bt", 4, true}, {"bt", 36, true}, {"bt", 8, false},
+		{"sp", 49, true}, {"sp", 50, false},
+		{"lu", 32, true}, {"lu", 0, false},
+		{"nosuch", 4, false},
+	}
+	for _, c := range cases {
+		if got := ValidProcs(c.name, c.np); got != c.ok {
+			t.Errorf("ValidProcs(%s, %d) = %v, want %v", c.name, c.np, got, c.ok)
+		}
+	}
+}
+
+func TestProcCounts(t *testing.T) {
+	got := ProcCounts("bt", 64)
+	want := []int{1, 4, 9, 16, 25, 36, 49, 64}
+	if len(got) != len(want) {
+		t.Fatalf("bt counts = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bt counts = %v, want %v", got, want)
+		}
+	}
+	cg := ProcCounts("cg", 64)
+	if len(cg) != 7 || cg[0] != 1 || cg[6] != 64 {
+		t.Fatalf("cg counts = %v", cg)
+	}
+}
+
+func TestTotalWorkCalibration(t *testing.T) {
+	// Class B work divided by the DCC serial rates must reproduce the
+	// paper's Figure 3 DCC walltimes within a few percent.
+	wants := map[string]float64{
+		"bt": 1696.9, "ep": 141.5, "cg": 244.9, "ft": 327.6,
+		"is": 8.6, "lu": 1514.7, "mg": 72.0, "sp": 1936.1,
+	}
+	for name, want := range wants {
+		w, err := TotalWork(name, ClassB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tFlop := w.Flops / dccFlopRate
+		tMem := w.Bytes / dccMemRate
+		got := tFlop
+		if tMem > got {
+			got = tMem
+		}
+		if got < 0.95*want || got > 1.05*want {
+			t.Errorf("%s: modelled DCC serial time %.1f s, want ~%.1f", name, got, want)
+		}
+	}
+}
+
+func TestTotalWorkErrors(t *testing.T) {
+	if _, err := TotalWork("zz", ClassB); err == nil {
+		t.Error("unknown kernel should error")
+	}
+}
+
+func TestClassScalesMonotone(t *testing.T) {
+	for _, name := range Names() {
+		var prev float64
+		for i, class := range Classes() {
+			w, err := TotalWork(name, class)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur := w.Flops + w.Bytes
+			if i > 0 && cur <= prev {
+				t.Errorf("%s: work not increasing from class %s", name, class)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestParamsTables(t *testing.T) {
+	if CGParamsFor(ClassB).NA != 75000 {
+		t.Error("CG.B na wrong")
+	}
+	if p := FTParamsFor(ClassB); p.NX != 512 || p.NY != 256 || p.NZ != 256 || p.Niter != 20 {
+		t.Errorf("FT.B params = %+v", p)
+	}
+	if ISParamsFor(ClassB).TotalKeys != 1<<25 {
+		t.Error("IS.B keys wrong")
+	}
+	if MGParamsFor(ClassB).N != 256 {
+		t.Error("MG.B grid wrong")
+	}
+	if LUParamsFor(ClassB).N != 102 || BTParamsFor(ClassB).N != 102 || SPParamsFor(ClassB).N != 102 {
+		t.Error("LU/BT/SP.B grids wrong")
+	}
+	if EPParamsFor(ClassB) != 30 {
+		t.Error("EP.B m wrong")
+	}
+}

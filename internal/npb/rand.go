@@ -1,0 +1,63 @@
+package npb
+
+// The NPB pseudo-random number generator: the linear congruential scheme
+// x_{k+1} = a * x_k (mod 2^46) with a = 5^13, returning x_k * 2^-46 in
+// (0, 1). This is the exact generator of the reference Fortran suite
+// (randlc/vranlc), including the power-method jump-ahead used by EP and IS
+// to give each process an independent subsequence.
+
+const (
+	// LCGMultiplier is the NPB a = 5^13.
+	LCGMultiplier = 1220703125
+	// EPSeed is the EP/IS benchmark seed (271828183, from e).
+	EPSeed = 271828183
+	lcgMod = uint64(1) << 46
+	lcgMsk = lcgMod - 1
+	r46    = 1.0 / (1 << 23) / (1 << 23) // 2^-46
+)
+
+// LCG is the NPB random stream. The zero value is invalid; use NewLCG.
+type LCG struct {
+	x uint64 // current 46-bit state
+	a uint64 // multiplier
+}
+
+// NewLCG returns a stream seeded with seed and the standard multiplier.
+func NewLCG(seed uint64) *LCG {
+	return &LCG{x: seed & lcgMsk, a: LCGMultiplier}
+}
+
+// Next returns the next variate in (0,1) — randlc.
+func (g *LCG) Next() float64 {
+	g.x = (g.a * g.x) & lcgMsk
+	return float64(g.x) * r46
+}
+
+// Fill fills dst with consecutive variates — vranlc.
+func (g *LCG) Fill(dst []float64) {
+	for i := range dst {
+		dst[i] = g.Next()
+	}
+}
+
+// Seed returns the current 46-bit state.
+func (g *LCG) Seed() uint64 { return g.x }
+
+// PowMul returns a^n mod 2^46 for the standard multiplier — the jump-ahead
+// factor that advances a stream by n steps when multiplied into the state.
+func PowMul(n uint64) uint64 {
+	result := uint64(1)
+	base := uint64(LCGMultiplier)
+	for ; n > 0; n >>= 1 {
+		if n&1 == 1 {
+			result = (result * base) & lcgMsk
+		}
+		base = (base * base) & lcgMsk
+	}
+	return result
+}
+
+// Jump returns a new stream advanced n steps past g without disturbing g.
+func (g *LCG) Jump(n uint64) *LCG {
+	return &LCG{x: (PowMul(n) * g.x) & lcgMsk, a: g.a}
+}

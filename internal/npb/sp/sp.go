@@ -1,0 +1,75 @@
+// Package sp implements the communication skeleton of the NPB SP
+// pseudo-application: an ADI scheme with scalar-pentadiagonal line solves
+// along each dimension per timestep over a square process grid. SP runs
+// twice as many timesteps as BT with leaner per-stage messages, making it
+// the longest-running class-B benchmark and relatively more
+// latency-sensitive.
+//
+// SP is skeleton-only in this reproduction; see DESIGN.md and package lu.
+package sp
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/npb"
+	"repro/internal/npb/bt"
+)
+
+const (
+	tagFwd  = 51
+	tagHalo = 58
+)
+
+// Skeleton replays SP's per-timestep structure: an RHS halo refresh and
+// three pentadiagonal sweeps with pipelined substitution chains.
+func Skeleton(c *mpi.Comm, class npb.Class) error {
+	np := c.Size()
+	q, err := bt.SquareSide(np)
+	if err != nil {
+		return fmt.Errorf("sp: %w", err)
+	}
+	p := npb.SPParamsFor(class)
+	total, werr := npb.TotalWork("sp", class)
+	if werr != nil {
+		return werr
+	}
+	perIter := total.Scale(1 / float64(np) / float64(p.Niter))
+
+	rx, ry := c.Rank()%q, c.Rank()/q
+	cell := p.N / q
+	if cell < 1 {
+		cell = 1
+	}
+	// Pentadiagonal line solves pass two scalar planes per face.
+	faceBytes := 2 * 8 * cell * cell
+	haloBytes := 5 * 8 * cell * cell
+
+	rowPrev := ry*q + (rx-1+q)%q
+	rowNext := ry*q + (rx+1)%q
+	colPrev := ((ry-1+q)%q)*q + rx
+	colNext := ((ry+1)%q)*q + rx
+
+	rhsWork := perIter.Scale(0.25)
+	sweepWork := perIter.Scale(0.75 / 3)
+
+	for iter := 0; iter < p.Niter; iter++ {
+		east := ry*q + (rx+1)%q
+		west := ry*q + (rx-1+q)%q
+		south := ((ry+1)%q)*q + rx
+		north := ((ry-1+q)%q)*q + rx
+		if q > 1 {
+			c.SendrecvN(east, tagHalo, haloBytes, west, tagHalo)
+			c.SendrecvN(west, tagHalo+1, haloBytes, east, tagHalo+1)
+			c.SendrecvN(south, tagHalo+2, haloBytes, north, tagHalo+2)
+			c.SendrecvN(north, tagHalo+3, haloBytes, south, tagHalo+3)
+		}
+		c.Compute(rhsWork)
+
+		bt.SweepChain(c, tagFwd, q, rowPrev, rowNext, faceBytes, sweepWork)
+		bt.SweepChain(c, tagFwd+10, q, colPrev, colNext, faceBytes, sweepWork)
+		bt.SweepChain(c, tagFwd+20, q, rowPrev, rowNext, faceBytes, sweepWork)
+	}
+	c.AllreduceN(40)
+	return nil
+}

@@ -1,0 +1,70 @@
+package sp
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/npb"
+	"repro/internal/platform"
+)
+
+func TestSerialCalibration(t *testing.T) {
+	res, err := mpi.RunOn(platform.DCC(), 1, func(c *mpi.Comm) error {
+		return Skeleton(c, npb.ClassB)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time < 1790 || res.Time > 2110 {
+		t.Fatalf("SP.B.1 on DCC = %.0f s, want ~1936.1", res.Time)
+	}
+}
+
+func TestRejectsNonSquare(t *testing.T) {
+	_, err := mpi.RunOn(platform.Vayu(), 8, func(c *mpi.Comm) error {
+		return Skeleton(c, npb.ClassS)
+	})
+	if err == nil {
+		t.Fatal("np=8 should be rejected (square counts only)")
+	}
+}
+
+func TestSPMoreLatencySensitiveThanBT(t *testing.T) {
+	// SP runs twice as many timesteps with leaner messages: on the
+	// high-latency DCC network it should spend a larger *fraction* of its
+	// time communicating per unit of work than... at minimum it must
+	// remain slower than BT relative to its serial time at scale.
+	st := func(class npb.Class, np int) float64 {
+		res, err := mpi.RunOn(platform.DCC(), np, func(c *mpi.Comm) error {
+			return Skeleton(c, class)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	t1 := st(npb.ClassB, 1)
+	t36 := st(npb.ClassB, 36)
+	eff := t1 / t36 / 36
+	if eff > 0.85 {
+		t.Fatalf("SP.B.36 efficiency on DCC = %.2f, should be visibly degraded", eff)
+	}
+	if eff < 0.1 {
+		t.Fatalf("SP.B.36 efficiency on DCC = %.2f, implausibly low", eff)
+	}
+}
+
+func TestVayuBeatsDCCAt64(t *testing.T) {
+	at := func(p *platform.Platform) float64 {
+		res, err := mpi.RunOn(p, 64, func(c *mpi.Comm) error {
+			return Skeleton(c, npb.ClassB)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	if at(platform.Vayu()) >= at(platform.DCC()) {
+		t.Fatal("SP.B.64 must be faster on Vayu")
+	}
+}

@@ -1,0 +1,124 @@
+package osu
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/platform"
+)
+
+// The OSU suite's collective latency benchmarks (osu_allreduce,
+// osu_alltoall, osu_bcast) and the bidirectional bandwidth test
+// (osu_bibw). Not shown in the paper's figures, but used by its analysis
+// ("the communication of the KSp section are entirely 4-byte all-reduce
+// operations") and by the arrive advisor's calibration.
+
+const collIters = 50
+
+// collectiveWorld places np ranks with the platform's default (block)
+// policy.
+func collectiveWorld(p *platform.Platform, np int, seed uint64) (*mpi.World, error) {
+	pl, err := cluster.Place(p, cluster.Spec{NP: np})
+	if err != nil {
+		return nil, fmt.Errorf("osu: %w", err)
+	}
+	return mpi.NewWorld(p, pl, mpi.WithSeed(seed))
+}
+
+// collectiveLatency times one collective op per message size: the mean
+// virtual seconds per operation at rank 0.
+func collectiveLatency(p *platform.Platform, np int, sizes []int, seed uint64,
+	op func(c *mpi.Comm, bytes int)) ([]Point, error) {
+	w, err := collectiveWorld(p, np, seed)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]float64, len(sizes))
+	_, err = w.Run(func(c *mpi.Comm) error {
+		for si, n := range sizes {
+			c.Barrier()
+			start := c.Clock()
+			for it := 0; it < collIters; it++ {
+				op(c, n)
+			}
+			if c.Rank() == 0 {
+				results[si] = (c.Clock() - start) / collIters
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]Point, len(sizes))
+	for i, n := range sizes {
+		points[i] = Point{Bytes: n, Value: results[i]}
+	}
+	return points, nil
+}
+
+// AllreduceLatency runs osu_allreduce: mean seconds per np-rank allreduce.
+func AllreduceLatency(p *platform.Platform, np int, sizes []int) ([]Point, error) {
+	return collectiveLatency(p, np, sizes, 0, func(c *mpi.Comm, n int) {
+		c.AllreduceN(n)
+	})
+}
+
+// AlltoallLatency runs osu_alltoall: mean seconds per np-rank alltoall of
+// n-byte blocks.
+func AlltoallLatency(p *platform.Platform, np int, sizes []int) ([]Point, error) {
+	return collectiveLatency(p, np, sizes, 0, func(c *mpi.Comm, n int) {
+		c.AlltoallN(n)
+	})
+}
+
+// BcastLatency runs osu_bcast: mean seconds per np-rank broadcast.
+func BcastLatency(p *platform.Platform, np int, sizes []int) ([]Point, error) {
+	return collectiveLatency(p, np, sizes, 0, func(c *mpi.Comm, n int) {
+		c.BcastN(0, n)
+	})
+}
+
+// BiBandwidth runs osu_bibw: both ranks stream windows simultaneously;
+// reported value is the aggregate MB/s.
+func BiBandwidth(p *platform.Platform, sizes []int) ([]Point, error) {
+	w, err := twoNodeWorld(p, 0)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]float64, len(sizes))
+	_, err = w.Run(func(c *mpi.Comm) error {
+		peer := 1 - c.Rank()
+		for si, n := range sizes {
+			c.Barrier()
+			start := c.Clock()
+			for it := 0; it < bwIters; it++ {
+				sends := make([]*mpi.Request, bwWindow)
+				recvs := make([]*mpi.Request, bwWindow)
+				for i := range recvs {
+					recvs[i] = c.IrecvN(peer, si)
+				}
+				for i := range sends {
+					sends[i] = c.IsendN(peer, si, n)
+				}
+				c.Waitall(recvs...)
+				c.Waitall(sends...)
+			}
+			if c.Rank() == 0 {
+				elapsed := c.Clock() - start
+				total := 2 * float64(bwIters) * bwWindow * float64(n)
+				results[si] = total / elapsed / (1 << 20)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]Point, len(sizes))
+	for i, n := range sizes {
+		points[i] = Point{Bytes: n, Value: results[i]}
+	}
+	return points, nil
+}

@@ -1,0 +1,84 @@
+package osu
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestAllreduceLatencyGrowsWithRanks(t *testing.T) {
+	at := func(np int) float64 {
+		pts, err := AllreduceLatency(platform.DCC(), np, []int{8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts[0].Value
+	}
+	l16, l64 := at(16), at(64)
+	if l64 <= l16 {
+		t.Fatalf("allreduce latency should grow with ranks: 16->%v 64->%v", l16, l64)
+	}
+}
+
+func TestAllreduceLatencyPlatformOrdering(t *testing.T) {
+	// The KSp finding: a tiny allreduce across nodes is far cheaper on
+	// InfiniBand.
+	lat := func(p *platform.Platform) float64 {
+		pts, err := AllreduceLatency(p, 32, []int{8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts[0].Value
+	}
+	v, d, e := lat(platform.Vayu()), lat(platform.DCC()), lat(platform.EC2())
+	if !(v < e && e < d) {
+		t.Fatalf("ordering violated: vayu=%v ec2=%v dcc=%v", v, e, d)
+	}
+	if d < 8*v {
+		t.Fatalf("DCC/Vayu tiny-allreduce ratio = %v, want large", d/v)
+	}
+}
+
+func TestAlltoallLatencyGrowsWithSize(t *testing.T) {
+	pts, err := AlltoallLatency(platform.EC2(), 16, []int{8, 1024, 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value <= pts[i-1].Value {
+			t.Fatalf("alltoall latency should grow with block size: %v", pts)
+		}
+	}
+}
+
+func TestBcastCheaperThanAlltoall(t *testing.T) {
+	b, err := BcastLatency(platform.DCC(), 32, []int{4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AlltoallLatency(platform.DCC(), 32, []int{4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0].Value >= a[0].Value {
+		t.Fatalf("bcast (%v) should be cheaper than alltoall (%v)", b[0].Value, a[0].Value)
+	}
+}
+
+func TestBiBandwidthExceedsUnidirectional(t *testing.T) {
+	sizes := []int{1 << 20}
+	for _, p := range []*platform.Platform{platform.Vayu(), platform.EC2()} {
+		uni, err := Bandwidth(p, sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bi, err := BiBandwidth(p, sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bi[0].Value <= uni[0].Value*1.2 {
+			t.Fatalf("%s: bidirectional %v should clearly exceed unidirectional %v",
+				p.Name, bi[0].Value, uni[0].Value)
+		}
+	}
+}

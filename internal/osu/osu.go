@@ -1,0 +1,138 @@
+// Package osu implements the OSU MPI micro-benchmarks used in Figures 1
+// and 2 of the paper: sustained point-to-point bandwidth (windowed
+// nonblocking sends) and ping-pong latency between two compute nodes.
+package osu
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/platform"
+)
+
+// Point is one benchmark sample.
+type Point struct {
+	Bytes int
+	Value float64 // MB/s for bandwidth, seconds for latency
+}
+
+// DefaultSizes returns the message sizes of the OSU curves: powers of two
+// from 1 byte to 4 MB.
+func DefaultSizes() []int {
+	var sizes []int
+	for n := 1; n <= 4<<20; n <<= 1 {
+		sizes = append(sizes, n)
+	}
+	return sizes
+}
+
+const (
+	bwWindow = 64 // outstanding sends per window (osu_bw default)
+	bwIters  = 20
+	latIters = 100
+)
+
+// twoNodeWorld builds a 2-rank world with one rank per node, the OSU
+// configuration ("between two compute nodes").
+func twoNodeWorld(p *platform.Platform, seed uint64) (*mpi.World, error) {
+	pl, err := cluster.Place(p, cluster.Spec{NP: 2, Nodes: 2, Policy: cluster.Spread})
+	if err != nil {
+		return nil, fmt.Errorf("osu: %w", err)
+	}
+	return mpi.NewWorld(p, pl, mpi.WithSeed(seed))
+}
+
+// Bandwidth runs the osu_bw benchmark on p for the given message sizes and
+// returns one point per size in MB/s.
+func Bandwidth(p *platform.Platform, sizes []int) ([]Point, error) {
+	return BandwidthSeeded(p, sizes, 0)
+}
+
+// BandwidthSeeded is Bandwidth with an explicit jitter seed (repetition
+// index).
+func BandwidthSeeded(p *platform.Platform, sizes []int, seed uint64) ([]Point, error) {
+	w, err := twoNodeWorld(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]float64, len(sizes))
+	_, err = w.Run(func(c *mpi.Comm) error {
+		for si, n := range sizes {
+			if c.Rank() == 0 {
+				start := c.Clock()
+				for it := 0; it < bwIters; it++ {
+					reqs := make([]*mpi.Request, bwWindow)
+					for i := range reqs {
+						reqs[i] = c.IsendN(1, si, n)
+					}
+					c.Waitall(reqs...)
+					c.RecvN(1, si) // window acknowledgement
+				}
+				elapsed := c.Clock() - start
+				total := float64(bwIters) * bwWindow * float64(n)
+				results[si] = total / elapsed / (1 << 20)
+			} else {
+				for it := 0; it < bwIters; it++ {
+					reqs := make([]*mpi.Request, bwWindow)
+					for i := range reqs {
+						reqs[i] = c.IrecvN(0, si)
+					}
+					c.Waitall(reqs...)
+					c.SendN(0, si, 4)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]Point, len(sizes))
+	for i, n := range sizes {
+		points[i] = Point{Bytes: n, Value: results[i]}
+	}
+	return points, nil
+}
+
+// Latency runs the osu_latency ping-pong benchmark on p and returns the
+// one-way latency in seconds per message size.
+func Latency(p *platform.Platform, sizes []int) ([]Point, error) {
+	return LatencySeeded(p, sizes, 0)
+}
+
+// LatencySeeded is Latency with an explicit jitter seed.
+func LatencySeeded(p *platform.Platform, sizes []int, seed uint64) ([]Point, error) {
+	w, err := twoNodeWorld(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]float64, len(sizes))
+	_, err = w.Run(func(c *mpi.Comm) error {
+		for si, n := range sizes {
+			if c.Rank() == 0 {
+				start := c.Clock()
+				for it := 0; it < latIters; it++ {
+					c.SendN(1, si, n)
+					c.RecvN(1, si)
+				}
+				elapsed := c.Clock() - start
+				results[si] = elapsed / (2 * latIters)
+			} else {
+				for it := 0; it < latIters; it++ {
+					c.RecvN(0, si)
+					c.SendN(0, si, n)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]Point, len(sizes))
+	for i, n := range sizes {
+		points[i] = Point{Bytes: n, Value: results[i]}
+	}
+	return points, nil
+}

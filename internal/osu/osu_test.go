@@ -1,0 +1,161 @@
+package osu
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestDefaultSizes(t *testing.T) {
+	sizes := DefaultSizes()
+	if sizes[0] != 1 || sizes[len(sizes)-1] != 4<<20 {
+		t.Fatalf("sizes span %d..%d, want 1..4M", sizes[0], sizes[len(sizes)-1])
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] != 2*sizes[i-1] {
+			t.Fatal("sizes must double")
+		}
+	}
+}
+
+func TestBandwidthSaturatesNearLinkRate(t *testing.T) {
+	// Large-message windowed bandwidth must approach the modelled peak:
+	// ~3200 (Vayu), ~560 (EC2), ~190 (DCC) MB/s.
+	cases := []struct {
+		p    *platform.Platform
+		peak float64
+	}{
+		{platform.Vayu(), 3200},
+		{platform.EC2(), 560},
+		{platform.DCC(), 190},
+	}
+	for _, cse := range cases {
+		pts, err := Bandwidth(cse.p, []int{4 << 20})
+		if err != nil {
+			t.Fatalf("%s: %v", cse.p.Name, err)
+		}
+		got := pts[0].Value
+		if got < 0.7*cse.peak || got > 1.1*cse.peak {
+			t.Errorf("%s: peak bandwidth = %.0f MB/s, want ~%.0f", cse.p.Name, got, cse.peak)
+		}
+	}
+}
+
+func TestBandwidthMonotoneOrdering(t *testing.T) {
+	// Figure 1: Vayu > EC2 > DCC at every message size.
+	sizes := []int{64, 4096, 1 << 18, 1 << 21}
+	bw := map[string][]Point{}
+	for _, p := range platform.All() {
+		pts, err := Bandwidth(p, sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bw[p.Name] = pts
+	}
+	for i := range sizes {
+		v, e, d := bw["vayu"][i].Value, bw["ec2"][i].Value, bw["dcc"][i].Value
+		if !(v > e && e > d) {
+			t.Errorf("size %d: ordering violated: vayu=%.2f ec2=%.2f dcc=%.2f", sizes[i], v, e, d)
+		}
+	}
+}
+
+func TestBandwidthGrowsWithSize(t *testing.T) {
+	pts, err := Bandwidth(platform.Vayu(), []int{64, 1024, 1 << 16, 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value <= pts[i-1].Value {
+			t.Fatalf("bandwidth should grow with size: %v", pts)
+		}
+	}
+}
+
+func TestLatencySmallMessageCalibration(t *testing.T) {
+	// Figure 2: microsecond-scale on Vayu, tens of microseconds on the
+	// virtualised clusters.
+	small := []int{1}
+	v, err := Latency(platform.Vayu(), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat := v[0].Value; lat < 1e-6 || lat > 5e-6 {
+		t.Errorf("vayu 1-byte latency = %v, want a few microseconds", lat)
+	}
+	e, err := Latency(platform.EC2(), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat := e[0].Value; lat < 30e-6 || lat > 150e-6 {
+		t.Errorf("ec2 1-byte latency = %v, want tens of microseconds", lat)
+	}
+	d, err := Latency(platform.DCC(), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat := d[0].Value; lat < 40e-6 {
+		t.Errorf("dcc 1-byte latency = %v, want >= 40us", lat)
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	sizes := []int{8, 1024, 1 << 16}
+	lat := map[string][]Point{}
+	for _, p := range platform.All() {
+		pts, err := Latency(p, sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat[p.Name] = pts
+	}
+	for i := range sizes {
+		v, e, d := lat["vayu"][i].Value, lat["ec2"][i].Value, lat["dcc"][i].Value
+		if !(v < e && e < d) {
+			t.Errorf("size %d: latency ordering violated: vayu=%v ec2=%v dcc=%v", sizes[i], v, e, d)
+		}
+	}
+}
+
+func TestDCCLatencyFluctuatesAcrossRepetitions(t *testing.T) {
+	// The paper: "latencies observed on DCC fluctuated from 1 byte to
+	// 512KB messages". Different repetitions (seeds) must disagree
+	// noticeably on DCC and barely on Vayu.
+	spread := func(p *platform.Platform) float64 {
+		var lo, hi float64
+		for seed := uint64(0); seed < 5; seed++ {
+			pts, err := LatencySeeded(p, []int{1024}, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := pts[0].Value
+			if seed == 0 || v < lo {
+				lo = v
+			}
+			if seed == 0 || v > hi {
+				hi = v
+			}
+		}
+		return (hi - lo) / lo
+	}
+	if s := spread(platform.DCC()); s < 0.05 {
+		t.Errorf("DCC latency spread across runs = %v, want visible fluctuation", s)
+	}
+	if s := spread(platform.Vayu()); s > 0.05 {
+		t.Errorf("Vayu latency spread across runs = %v, want stable", s)
+	}
+}
+
+func TestDeterministicForFixedSeed(t *testing.T) {
+	a, err := BandwidthSeeded(platform.DCC(), []int{4096}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BandwidthSeeded(platform.DCC(), []int{4096}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Value != b[0].Value {
+		t.Fatal("same seed should reproduce exactly")
+	}
+}

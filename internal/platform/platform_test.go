@@ -1,0 +1,146 @@
+package platform
+
+import "testing"
+
+func TestAllPlatformsValidate(t *testing.T) {
+	for _, p := range All() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestTableIParameters(t *testing.T) {
+	// Cross-check against Table I of the paper.
+	d := DCC()
+	if d.Nodes != 8 {
+		t.Errorf("DCC nodes = %d, want 8", d.Nodes)
+	}
+	if d.CPU.ClockHz != 2.27e9 {
+		t.Errorf("DCC clock = %v, want 2.27 GHz", d.CPU.ClockHz)
+	}
+	if d.SlotsPerNode() != 8 {
+		t.Errorf("DCC slots/node = %d, want 8", d.SlotsPerNode())
+	}
+	if d.MemPerNode != 40<<30 {
+		t.Errorf("DCC mem/node = %d, want 40 GB", d.MemPerNode)
+	}
+
+	e := EC2()
+	if e.Nodes != 4 {
+		t.Errorf("EC2 nodes = %d, want 4", e.Nodes)
+	}
+	if e.CPU.ClockHz != 2.93e9 {
+		t.Errorf("EC2 clock = %v, want 2.93 GHz", e.CPU.ClockHz)
+	}
+	// "Each EC2 compute instance is assigned two quad core processors ...
+	// hyper-threading capabilities in 16 total cores".
+	if e.SlotsPerNode() != 16 {
+		t.Errorf("EC2 slots/node = %d, want 16 (HT)", e.SlotsPerNode())
+	}
+	if e.CPU.PhysicalCores() != 8 {
+		t.Errorf("EC2 physical cores = %d, want 8", e.CPU.PhysicalCores())
+	}
+	if e.MemPerNode != 20<<30 {
+		t.Errorf("EC2 mem/node = %d, want 20 GB", e.MemPerNode)
+	}
+
+	v := Vayu()
+	if v.Nodes != 1492 {
+		t.Errorf("Vayu nodes = %d, want 1492", v.Nodes)
+	}
+	if v.CPU.ClockHz != 2.93e9 {
+		t.Errorf("Vayu clock = %v, want 2.93 GHz", v.CPU.ClockHz)
+	}
+	if v.SlotsPerNode() != 8 {
+		t.Errorf("Vayu slots/node = %d, want 8", v.SlotsPerNode())
+	}
+	if v.MemPerNode != 24<<30 {
+		t.Errorf("Vayu mem/node = %d, want 24 GB", v.MemPerNode)
+	}
+}
+
+func TestPlatformCharacter(t *testing.T) {
+	if !Vayu().NUMAPinned {
+		t.Error("Vayu must enforce NUMA affinity (per the paper)")
+	}
+	if DCC().NUMAPinned || EC2().NUMAPinned {
+		t.Error("virtualised platforms must mask NUMA")
+	}
+	if Vayu().Virtualised {
+		t.Error("Vayu is not virtualised")
+	}
+	if !DCC().Virtualised || !EC2().Virtualised {
+		t.Error("DCC and EC2 are virtualised")
+	}
+	if Vayu().FS.Name != "lustre" {
+		t.Errorf("Vayu FS = %s, want lustre", Vayu().FS.Name)
+	}
+}
+
+func TestLinkSelection(t *testing.T) {
+	p := DCC()
+	if got := p.Link(2, 2); got.Name != p.Intra.Name {
+		t.Errorf("same-node link = %s, want intra", got.Name)
+	}
+	if got := p.Link(1, 2); got.Name != p.Inter.Name {
+		t.Errorf("cross-node link = %s, want inter", got.Name)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"vayu", "dcc", "ec2"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name != name {
+			t.Fatalf("ByName(%q).Name = %q", name, p.Name)
+		}
+	}
+	if _, err := ByName("bluegene"); err == nil {
+		t.Fatal("unknown platform should error")
+	}
+}
+
+func TestMaxRanks(t *testing.T) {
+	if got := DCC().MaxRanks(); got != 64 {
+		t.Errorf("DCC max ranks = %d, want 64", got)
+	}
+	if got := EC2().MaxRanks(); got != 64 {
+		t.Errorf("EC2 max ranks = %d, want 64", got)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	p := Vayu()
+	p.Nodes = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero nodes should fail validation")
+	}
+	p = Vayu()
+	p.MemPerNode = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative memory should fail validation")
+	}
+	p = Vayu()
+	p.Name = ""
+	if err := p.Validate(); err == nil {
+		t.Error("empty name should fail validation")
+	}
+	p = Vayu()
+	p.CPU.Efficiency = 0
+	if err := p.Validate(); err == nil {
+		t.Error("bad CPU should fail validation")
+	}
+}
+
+func TestSeedsDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, p := range All() {
+		if prev, ok := seen[p.Seed]; ok {
+			t.Fatalf("platforms %s and %s share a seed", prev, p.Name)
+		}
+		seen[p.Seed] = p.Name
+	}
+}

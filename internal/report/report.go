@@ -1,0 +1,285 @@
+// Package report renders the reproduction's figures and tables as aligned
+// text tables, CSV series (gnuplot-ready) and quick ASCII log-log plots.
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly: 3 significant-ish digits that
+// keep both 0.0123 and 1234.5 readable.
+func FormatFloat(v float64) string {
+	switch a := math.Abs(v); {
+	case v == 0:
+		return "0"
+	case v == math.Trunc(v) && a < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case a >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case a >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case a >= 0.01:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// Render returns the aligned text table.
+func (t *Table) Render() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	line := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	if len(t.Headers) > 0 {
+		line(t.Headers)
+		sep := make([]string, cols)
+		for i := range sep {
+			sep[i] = strings.Repeat("-", width[i])
+		}
+		line(sep)
+	}
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// CSV returns the table as comma-separated values (quotes omitted: the
+// reproduction's cells never contain commas).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	if len(t.Headers) > 0 {
+		b.WriteString(strings.Join(t.Headers, ","))
+		b.WriteString("\n")
+	}
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Series is one named curve of (x, y) samples.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends one sample.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Figure is a set of curves sharing axes.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	LogY   bool
+	Series []*Series
+}
+
+// CSV renders the figure as columns x,<series...> over the union of the
+// x values (missing samples are blank).
+func (f *Figure) CSV() string {
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	var b strings.Builder
+	b.WriteString("x")
+	for _, s := range f.Series {
+		b.WriteString("," + s.Name)
+	}
+	b.WriteString("\n")
+	for _, x := range sorted {
+		b.WriteString(FormatFloat(x))
+		for _, s := range f.Series {
+			val := ""
+			for i, sx := range s.X {
+				if sx == x {
+					val = FormatFloat(s.Y[i])
+					break
+				}
+			}
+			b.WriteString("," + val)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// markers cycles through plot glyphs per series.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// ASCII renders a rough terminal plot of the figure (width x height
+// character cells), legend included.
+func (f *Figure) ASCII(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	tx := func(v float64) float64 {
+		if f.LogX && v > 0 {
+			return math.Log10(v)
+		}
+		return v
+	}
+	ty := func(v float64) float64 {
+		if f.LogY && v > 0 {
+			return math.Log10(v)
+		}
+		return v
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for i := range s.X {
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return "(empty figure)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			cx := int((tx(s.X[i]) - minX) / (maxX - minX) * float64(width-1))
+			cy := int((ty(s.Y[i]) - minY) / (maxY - minY) * float64(height-1))
+			row := height - 1 - cy
+			grid[row][cx] = m
+		}
+	}
+
+	var b strings.Builder
+	if f.Title != "" {
+		fmt.Fprintf(&b, "%s\n", f.Title)
+	}
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, " x: %s [%s..%s]  y: %s [%s..%s]\n",
+		f.XLabel, FormatFloat(invLog(minX, f.LogX)), FormatFloat(invLog(maxX, f.LogX)),
+		f.YLabel, FormatFloat(invLog(minY, f.LogY)), FormatFloat(invLog(maxY, f.LogY)))
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, " %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+func invLog(v float64, logged bool) float64 {
+	if logged {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+// BarBreakdown renders a Figure-7-style per-process stacked text chart of
+// computation vs communication time.
+func BarBreakdown(title string, comp, comm []float64, width int) string {
+	if width < 20 {
+		width = 60
+	}
+	var mx float64
+	for i := range comp {
+		if t := comp[i] + comm[i]; t > mx {
+			mx = t
+		}
+	}
+	if mx == 0 {
+		mx = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (#=compute, ~=comm; full bar = %.1fs)\n", title, mx)
+	for i := range comp {
+		nc := int(comp[i] / mx * float64(width))
+		nm := int(comm[i] / mx * float64(width))
+		fmt.Fprintf(&b, "p%02d |%s%s\n", i, strings.Repeat("#", nc), strings.Repeat("~", nm))
+	}
+	return b.String()
+}

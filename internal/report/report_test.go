@@ -1,0 +1,122 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "demo", Headers: []string{"name", "value"}}
+	tb.AddRow("alpha", 1.2345)
+	tb.AddRow("b", 1234.5)
+	out := tb.Render()
+	for _, want := range []string{"== demo ==", "name", "alpha", "1.234", "1234"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b"}}
+	tb.AddRow(1, 2)
+	csv := tb.CSV()
+	if csv != "a,b\n1,2\n" {
+		t.Fatalf("csv = %q", csv)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1234.56: "1235",
+		12.34:   "12.3",
+		1.2345:  "1.234",
+		0.00123: "0.00123",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFigureCSVUnionOfX(t *testing.T) {
+	f := &Figure{Title: "t"}
+	a := &Series{Name: "a"}
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b := &Series{Name: "b"}
+	b.Add(2, 200)
+	b.Add(4, 400)
+	f.Series = []*Series{a, b}
+	csv := f.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "x,a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 4 { // x = 1, 2, 4
+		t.Fatalf("got %d lines: %q", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[1], "1,10,") {
+		t.Fatalf("row1 = %q (b should be blank)", lines[1])
+	}
+	if lines[2] != "2,20,200" {
+		t.Fatalf("row2 = %q", lines[2])
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	f := &Figure{Title: "plot", XLabel: "np", YLabel: "speedup", LogX: true, LogY: true}
+	s := &Series{Name: "vayu"}
+	for _, np := range []float64{1, 2, 4, 8, 16, 32, 64} {
+		s.Add(np, np*0.9)
+	}
+	f.Series = []*Series{s}
+	out := f.ASCII(40, 10)
+	if !strings.Contains(out, "plot") || !strings.Contains(out, "vayu") {
+		t.Fatalf("missing labels:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("no data points plotted:\n%s", out)
+	}
+	// A log-log linear relation should put marks on an ascending diagonal:
+	// the first grid row (top) must contain the max-x point.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "*") {
+		t.Fatalf("top row should hold the largest point:\n%s", out)
+	}
+}
+
+func TestASCIIEmpty(t *testing.T) {
+	f := &Figure{}
+	if out := f.ASCII(30, 8); !strings.Contains(out, "empty") {
+		t.Fatalf("empty figure should say so, got %q", out)
+	}
+}
+
+func TestBarBreakdown(t *testing.T) {
+	out := BarBreakdown("ATM_STEP", []float64{3, 4}, []float64{1, 0.5}, 40)
+	if !strings.Contains(out, "p00") || !strings.Contains(out, "p01") {
+		t.Fatalf("missing process rows:\n%s", out)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "~") {
+		t.Fatalf("missing bar glyphs:\n%s", out)
+	}
+	// Rank 1 computes more: its bar must have more '#'.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[2], "#") <= strings.Count(lines[1], "#") {
+		t.Fatalf("bar lengths wrong:\n%s", out)
+	}
+}
+
+func TestBarBreakdownZero(t *testing.T) {
+	out := BarBreakdown("empty", []float64{0}, []float64{0}, 40)
+	if !strings.Contains(out, "p00") {
+		t.Fatal("should render a row even with zero time")
+	}
+}

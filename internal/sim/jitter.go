@@ -1,0 +1,44 @@
+package sim
+
+// Jitter models a multiplicative and/or additive perturbation applied to a
+// modelled duration. A zero Jitter is the identity (no noise).
+//
+// The perturbation has three components, all optional:
+//
+//   - a lognormal multiplicative factor with log-std Sigma centred on 1,
+//     modelling steady low-level noise (cache effects, daemon activity);
+//   - an additive exponential term with mean AddMean seconds, modelling
+//     queueing behind other traffic or threads;
+//   - a rare heavy-tail spike: with probability SpikeProb an additional
+//     Pareto-distributed delay in [SpikeMin, SpikeMax] seconds, modelling
+//     hypervisor preemption or vSwitch stalls.
+type Jitter struct {
+	Sigma     float64 // lognormal sigma of multiplicative noise (0 = none)
+	AddMean   float64 // mean of additive exponential delay, seconds (0 = none)
+	SpikeProb float64 // probability of a heavy-tail spike per event
+	SpikeMin  float64 // minimum spike duration, seconds
+	SpikeMax  float64 // maximum spike duration, seconds
+}
+
+// Apply perturbs duration d (seconds) using stream r. A nil receiver or a
+// zero Jitter returns d unchanged. The result is never negative.
+func (j *Jitter) Apply(r *RNG, d float64) float64 {
+	if j == nil || (j.Sigma == 0 && j.AddMean == 0 && j.SpikeProb == 0) {
+		return d
+	}
+	out := d
+	if j.Sigma > 0 {
+		// mu = -sigma^2/2 keeps the mean multiplier at 1.
+		out *= r.LogNormal(-j.Sigma*j.Sigma/2, j.Sigma)
+	}
+	if j.AddMean > 0 {
+		out += r.Exponential(j.AddMean)
+	}
+	if j.SpikeProb > 0 && r.Float64() < j.SpikeProb {
+		out += r.Pareto(j.SpikeMin, j.SpikeMax, 1.2)
+	}
+	if out < 0 {
+		out = 0
+	}
+	return out
+}

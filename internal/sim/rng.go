@@ -1,0 +1,111 @@
+// Package sim provides the deterministic primitives that underpin the
+// virtual-time performance models: seeded pseudo-random streams, jitter
+// distributions and small statistics helpers.
+//
+// Every source of modelled randomness in the repository (hypervisor jitter,
+// vSwitch latency fluctuation, OS noise) draws from an independent RNG
+// stream whose seed is derived from stable identifiers (platform name,
+// experiment, rank, sequence number). Runs are therefore bit-reproducible.
+package sim
+
+import "math"
+
+// RNG is a splitmix64 pseudo-random generator. The zero value is a valid
+// generator seeded with 0; use NewRNG or Derive for distinct streams.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Derive returns a new independent stream obtained by hashing the parent
+// seed with the given labels. It does not disturb the parent's state.
+func (r *RNG) Derive(labels ...uint64) *RNG {
+	h := r.state ^ 0x9e3779b97f4a7c15
+	for _, l := range labels {
+		h ^= mix64(l + 0x9e3779b97f4a7c15)
+		h = mix64(h)
+	}
+	return &RNG{state: h}
+}
+
+// SeedString hashes a string into a 64-bit seed (FNV-1a).
+func SeedString(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return mix64(r.state)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Normal returns a standard normal variate (Box-Muller).
+func (r *RNG) Normal() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// LogNormal returns exp(mu + sigma*N(0,1)).
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.Normal())
+}
+
+// Exponential returns an exponential variate with the given mean.
+func (r *RNG) Exponential(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Pareto returns a bounded heavy-tailed variate in [min, max] with shape
+// alpha; used for rare long scheduling delays (hypervisor preemption).
+func (r *RNG) Pareto(min, max, alpha float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	// Inverse-CDF of a truncated Pareto.
+	la, lb := math.Pow(min, alpha), math.Pow(max, alpha)
+	x := math.Pow(-(u*lb-u*la-lb)/(la*lb), -1/alpha)
+	if x < min {
+		x = min
+	}
+	if x > max {
+		x = max
+	}
+	return x
+}

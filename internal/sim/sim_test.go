@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGDistinctSeeds(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different seeds collided %d times in 1000 draws", same)
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	c1 := parent.Derive(1)
+	c2 := parent.Derive(2)
+	c1b := parent.Derive(1)
+	if c1.Uint64() != c1b.Uint64() {
+		t.Fatal("Derive with equal labels should give identical streams")
+	}
+	if c1b.Uint64() == c2.Uint64() && c1b.Uint64() == c2.Uint64() {
+		t.Fatal("Derive with different labels produced matching streams")
+	}
+	// Derive must not disturb the parent.
+	p1, p2 := NewRNG(7), NewRNG(7)
+	p1.Derive(99)
+	if p1.Uint64() != p2.Uint64() {
+		t.Fatal("Derive mutated the parent stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	if err := quick.Check(func(seed uint64) bool {
+		v := r.Float64()
+		return v >= 0 && v < 1
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(5)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(11)
+	var sum, sumsq float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Normal()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestLogNormalMeanOne(t *testing.T) {
+	// With mu = -sigma^2/2 the lognormal mean is 1; Jitter relies on this.
+	r := NewRNG(13)
+	sigma := 0.4
+	var sum float64
+	const n = 400000
+	for i := 0; i < n; i++ {
+		sum += r.LogNormal(-sigma*sigma/2, sigma)
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("lognormal mean = %v, want ~1", mean)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRNG(17)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(2.5)
+	}
+	if mean := sum / n; math.Abs(mean-2.5) > 0.1 {
+		t.Fatalf("exponential mean = %v, want ~2.5", mean)
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	r := NewRNG(19)
+	for i := 0; i < 100000; i++ {
+		v := r.Pareto(1e-4, 5e-3, 1.2)
+		if v < 1e-4 || v > 5e-3 {
+			t.Fatalf("Pareto draw %v outside [1e-4, 5e-3]", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestSeedStringStable(t *testing.T) {
+	if SeedString("vayu") != SeedString("vayu") {
+		t.Fatal("SeedString not stable")
+	}
+	if SeedString("vayu") == SeedString("dcc") {
+		t.Fatal("SeedString collided on distinct inputs")
+	}
+}
+
+func TestJitterIdentityWhenZero(t *testing.T) {
+	var j Jitter
+	r := NewRNG(1)
+	if got := j.Apply(r, 3.5); got != 3.5 {
+		t.Fatalf("zero jitter changed duration: %v", got)
+	}
+	var nilJ *Jitter
+	if got := nilJ.Apply(r, 3.5); got != 3.5 {
+		t.Fatalf("nil jitter changed duration: %v", got)
+	}
+}
+
+func TestJitterNeverNegative(t *testing.T) {
+	j := Jitter{Sigma: 1.0, AddMean: 1e-6, SpikeProb: 0.5, SpikeMin: 1e-5, SpikeMax: 1e-3}
+	r := NewRNG(23)
+	for i := 0; i < 100000; i++ {
+		if d := j.Apply(r, 1e-6); d < 0 {
+			t.Fatalf("jitter produced negative duration %v", d)
+		}
+	}
+}
+
+func TestJitterMeanApproxPreserved(t *testing.T) {
+	j := Jitter{Sigma: 0.2}
+	r := NewRNG(29)
+	var sum float64
+	const n = 300000
+	for i := 0; i < n; i++ {
+		sum += j.Apply(r, 1.0)
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("multiplicative jitter mean = %v, want ~1", mean)
+	}
+}
+
+func TestJitterSpikesIncreaseTail(t *testing.T) {
+	base := Jitter{Sigma: 0.1}
+	spiky := Jitter{Sigma: 0.1, SpikeProb: 0.1, SpikeMin: 1e-3, SpikeMax: 1e-2}
+	r1, r2 := NewRNG(31), NewRNG(31)
+	var s1, s2 Series
+	for i := 0; i < 20000; i++ {
+		s1 = append(s1, base.Apply(r1, 1e-5))
+		s2 = append(s2, spiky.Apply(r2, 1e-5))
+	}
+	if s2.Percentile(99) <= s1.Percentile(99) {
+		t.Fatalf("spiky p99 %v not above base p99 %v", s2.Percentile(99), s1.Percentile(99))
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	s := Series{4, 1, 3, 2}
+	if s.Min() != 1 || s.Max() != 4 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Sum() != 10 || s.Mean() != 2.5 {
+		t.Fatalf("sum/mean = %v/%v", s.Sum(), s.Mean())
+	}
+	if got := s.Percentile(50); got != 2 {
+		t.Fatalf("p50 = %v, want 2", got)
+	}
+	if got := s.Percentile(100); got != 4 {
+		t.Fatalf("p100 = %v, want 4", got)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 || s.Stddev() != 0 ||
+		s.Percentile(50) != 0 || s.Imbalance() != 0 {
+		t.Fatal("empty series should return zeros everywhere")
+	}
+}
+
+func TestSeriesImbalance(t *testing.T) {
+	balanced := Series{2, 2, 2, 2}
+	if got := balanced.Imbalance(); got != 0 {
+		t.Fatalf("balanced imbalance = %v, want 0", got)
+	}
+	skewed := Series{1, 1, 1, 5}
+	// mean=2, max=5 -> (5-2)/5 = 0.6
+	if got := skewed.Imbalance(); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("skewed imbalance = %v, want 0.6", got)
+	}
+}
+
+func TestSeriesImbalanceProperty(t *testing.T) {
+	// Imbalance is always in [0, 1) for non-negative samples.
+	f := func(raw []float64) bool {
+		s := make(Series, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Bound the samples so the sum cannot overflow to +Inf.
+			s = append(s, math.Mod(math.Abs(v), 1e12))
+		}
+		im := s.Imbalance()
+		return im >= 0 && im < 1 || (len(s) == 0 && im == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	s := Series{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := s.Stddev(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("stddev = %v, want 2", got)
+	}
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// Series is a collection of float64 samples with summary helpers.
+type Series []float64
+
+// Min returns the smallest sample, or 0 for an empty series.
+func (s Series) Min() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	m := s[0]
+	for _, v := range s[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest sample, or 0 for an empty series.
+func (s Series) Max() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	m := s[0]
+	for _, v := range s[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of all samples.
+func (s Series) Sum() float64 {
+	var t float64
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty series.
+func (s Series) Mean() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	return s.Sum() / float64(len(s))
+}
+
+// Stddev returns the population standard deviation.
+func (s Series) Stddev() float64 {
+	if len(s) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(s)))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using nearest-rank
+// on a sorted copy. It returns 0 for an empty series.
+func (s Series) Percentile(p float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	c := make([]float64, len(s))
+	copy(c, s)
+	sort.Float64s(c)
+	if p <= 0 {
+		return c[0]
+	}
+	if p >= 100 {
+		return c[len(c)-1]
+	}
+	idx := int(math.Ceil(p/100*float64(len(c)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return c[idx]
+}
+
+// Imbalance returns the load-imbalance fraction (max-mean)/max in [0,1),
+// the statistic IPM reports as "%imbal" when scaled by 100. It returns 0
+// when the series is empty or max is 0.
+func (s Series) Imbalance() float64 {
+	mx := s.Max()
+	if mx == 0 {
+		return 0
+	}
+	return (mx - s.Mean()) / mx
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/cpumodel"
+	"repro/internal/mpi"
+	"repro/internal/platform"
+)
+
+func record(t *testing.T, np int, fn func(c *mpi.Comm) error) *Recorder {
+	t.Helper()
+	rec := New(np)
+	pl, err := cluster.Place(platform.Vayu(), cluster.Spec{NP: np})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpi.NewWorld(platform.Vayu(), pl, mpi.WithTracer(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(fn); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestRecordsEvents(t *testing.T) {
+	rec := record(t, 4, func(c *mpi.Comm) error {
+		c.Region("work")
+		c.Compute(cpumodel.Work{Flops: 1e7})
+		c.AllreduceN(8)
+		c.ReadShared(1<<20, 4)
+		return nil
+	})
+	if rec.Count() != 4*3 {
+		t.Fatalf("events = %d, want 12 (compute, allreduce, io per rank)", rec.Count())
+	}
+	evs := rec.Events(2)
+	kinds := map[string]bool{}
+	for _, e := range evs {
+		kinds[e.Kind] = true
+		if e.Dur < 0 || e.Start < 0 {
+			t.Fatalf("bad event %+v", e)
+		}
+		if e.Region != "work" {
+			t.Fatalf("region = %q", e.Region)
+		}
+	}
+	for _, want := range []string{"compute", "comm", "io"} {
+		if !kinds[want] {
+			t.Fatalf("missing kind %q", want)
+		}
+	}
+}
+
+func TestEventsOrderedAndNonOverlapping(t *testing.T) {
+	rec := record(t, 2, func(c *mpi.Comm) error {
+		for i := 0; i < 10; i++ {
+			c.Compute(cpumodel.Work{Flops: 1e6})
+			c.AllreduceN(8)
+		}
+		return nil
+	})
+	for rank := 0; rank < 2; rank++ {
+		last := 0.0
+		for i, e := range rec.Events(rank) {
+			if e.Start+1e-12 < last {
+				t.Fatalf("rank %d event %d overlaps previous: start %v < %v", rank, i, e.Start, last)
+			}
+			last = e.Start + e.Dur
+		}
+	}
+}
+
+func TestChromeExport(t *testing.T) {
+	rec := record(t, 2, func(c *mpi.Comm) error {
+		c.Region("phase")
+		c.Compute(cpumodel.Work{Flops: 1e6})
+		if c.Rank() == 0 {
+			c.SendN(1, 0, 1024)
+		} else {
+			c.RecvN(0, 0)
+		}
+		return nil
+	})
+	var buf strings.Builder
+	if err := rec.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	events, ok := doc["traceEvents"].([]any)
+	if !ok || len(events) == 0 {
+		t.Fatal("no traceEvents")
+	}
+	first := events[0].(map[string]any)
+	for _, key := range []string{"name", "ph", "ts", "dur", "tid"} {
+		if _, ok := first[key]; !ok {
+			t.Fatalf("event missing %q: %v", key, first)
+		}
+	}
+	if first["ph"] != "X" {
+		t.Fatalf("phase = %v, want X", first["ph"])
+	}
+	// The send event should carry its byte count.
+	found := false
+	for _, raw := range events {
+		e := raw.(map[string]any)
+		if e["name"] == "Send" {
+			args := e["args"].(map[string]any)
+			if args["bytes"] == "1024" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("Send event with bytes=1024 not exported")
+	}
+}
