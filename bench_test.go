@@ -17,6 +17,7 @@ import (
 	"repro/internal/npb/suite"
 	"repro/internal/osu"
 	"repro/internal/platform"
+	"repro/internal/sched"
 )
 
 // BenchmarkFig1OSUBandwidth regenerates Figure 1 on a reduced size sweep
@@ -224,3 +225,40 @@ func BenchmarkOSURawRuntime(b *testing.B) {
 		}
 	}
 }
+
+// reproQuickJobs builds the scheduler job set the sequential/parallel
+// repro benchmarks share: the quick sweep minus fig5, whose Chaste sweep
+// alone would dominate the measurement, with caching off so every
+// iteration simulates.
+func reproQuickJobs(b *testing.B) []sched.Job {
+	ids := []string{"fig1", "fig2", "fig3", "fig4", "table2", "fig6", "table3", "fig7", "chaste32"}
+	jobs, err := experiments.Jobs(experiments.SweepQuick, 0, ids)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return jobs
+}
+
+func benchmarkRepro(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		results, err := sched.Run(reproQuickJobs(b), sched.Options{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var virtual float64
+			for _, r := range results {
+				virtual += r.Virtual
+			}
+			b.ReportMetric(virtual, "simulated-s")
+		}
+	}
+}
+
+// BenchmarkReproQuickSequential regenerates the quick artefact set on one
+// worker — the baseline the parallel variant is compared against.
+func BenchmarkReproQuickSequential(b *testing.B) { benchmarkRepro(b, 1) }
+
+// BenchmarkReproQuickParallel regenerates the same set on 8 workers,
+// measuring the scheduler's wall-clock win on a multi-core host.
+func BenchmarkReproQuickParallel(b *testing.B) { benchmarkRepro(b, 8) }

@@ -2,9 +2,16 @@
 // evaluation section into a results directory: Figures 1-7 and Tables
 // II-III, plus the Chaste 32-core prose numbers.
 //
+// Artefacts run as jobs on the internal/sched worker pool (-j) backed by
+// a content-addressed result cache, so re-running an unchanged artefact
+// is a cache hit instead of a re-simulation. Every artefact is a pure
+// function of (ID, sweep, seed, model version); parallel runs produce
+// byte-identical output to -j 1.
+//
 // Usage:
 //
-//	repro [-out results] [-only fig1,fig4,table3] [-quick]
+//	repro [-out results] [-only fig1,fig4,table3] [-quick] [-j N]
+//	      [-seed N] [-nocache] [-cache DIR] [-check]
 package main
 
 import (
@@ -12,169 +19,167 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
-	"time"
 
 	"repro/internal/experiments"
-	"repro/internal/npb"
-	"repro/internal/osu"
 	"repro/internal/report"
+	"repro/internal/sched"
 )
 
 func main() {
 	out := flag.String("out", "results", "output directory")
-	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig3,fig4,table2,fig5,fig6,table3,fig7,chaste32")
+	only := flag.String("only", "", "comma-separated artefact subset (e.g. fig1,fig4,table3)")
 	quick := flag.Bool("quick", false, "smaller sweeps (fewer sizes/process counts)")
 	check := flag.Bool("check", false, "evaluate the paper's headline claims and report PASS/FAIL")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "number of artefact jobs to run concurrently")
+	seed := flag.Uint64("seed", 0, "base seed for every experiment's random streams")
+	nocache := flag.Bool("nocache", false, "ignore and do not update the result cache (force a cold rerun)")
+	cacheDir := flag.String("cache", "", "result cache directory (default <out>/.cache)")
 	flag.Parse()
 
+	cache := openCache(*out, *cacheDir, *nocache)
+
 	if *check {
-		checks, err := experiments.RunChecks()
-		if err != nil {
-			fatal(err)
-		}
-		failed := 0
-		for _, c := range checks {
-			status := "PASS"
-			if !c.Passed {
-				status = "FAIL"
-				failed++
-			}
-			fmt.Printf("[%s] %-4s %s\n       measured: %s\n", c.ID, status, c.Claim, c.Detail)
-		}
-		fmt.Printf("\n%d/%d claims reproduced\n", len(checks)-failed, len(checks))
-		if failed > 0 {
-			os.Exit(1)
-		}
+		runChecks(*workers, cache)
 		return
 	}
 
-	want := map[string]bool{}
+	var ids []string
 	if *only != "" {
-		for _, k := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(k)] = true
-		}
+		ids = strings.Split(*only, ",")
 	}
-	sel := func(k string) bool { return len(want) == 0 || want[k] }
-
+	sweep := experiments.SweepFull
+	if *quick {
+		sweep = experiments.SweepQuick
+	}
+	jobs, err := experiments.Jobs(sweep, *seed, ids)
+	if err != nil {
+		fatal(err)
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
 
-	sizes := osu.DefaultSizes()
-	if *quick {
-		sizes = []int{1, 64, 4096, 1 << 18, 1 << 22}
+	results, runErr := sched.Run(jobs, sched.Options{
+		Workers: *workers,
+		Cache:   cache,
+		OnEvent: progress,
+	})
+	if results == nil {
+		fatal(runErr)
 	}
 
-	run := func(name string, fn func() error) {
-		if !sel(name) {
-			return
+	// Write and print completed artefacts in registry order (partial
+	// results are still written when a later job failed).
+	for _, r := range results {
+		if r.Status != sched.Done && r.Status != sched.Cached {
+			continue
 		}
-		start := time.Now()
-		fmt.Printf("[%s] running...\n", name)
-		if err := fn(); err != nil {
-			fatal(fmt.Errorf("%s: %w", name, err))
-		}
-		fmt.Printf("[%s] done in %v\n", name, time.Since(start).Round(time.Millisecond))
-	}
-
-	writeFigure := func(base string, fig *report.Figure) error {
-		if err := os.WriteFile(filepath.Join(*out, base+".csv"), []byte(fig.CSV()), 0o644); err != nil {
-			return err
-		}
-		txt := fig.ASCII(64, 16)
-		fmt.Println(txt)
-		return os.WriteFile(filepath.Join(*out, base+".txt"), []byte(txt), 0o644)
-	}
-	writeTable := func(base string, t *report.Table) error {
-		if err := os.WriteFile(filepath.Join(*out, base+".csv"), []byte(t.CSV()), 0o644); err != nil {
-			return err
-		}
-		txt := t.Render()
-		fmt.Println(txt)
-		return os.WriteFile(filepath.Join(*out, base+".txt"), []byte(txt), 0o644)
-	}
-
-	run("fig1", func() error {
-		fig, err := experiments.Fig1OSUBandwidth(sizes)
-		if err != nil {
-			return err
-		}
-		return writeFigure("fig1_osu_bandwidth", fig)
-	})
-	run("fig2", func() error {
-		fig, err := experiments.Fig2OSULatency(sizes)
-		if err != nil {
-			return err
-		}
-		return writeFigure("fig2_osu_latency", fig)
-	})
-	run("fig3", func() error {
-		t, err := experiments.Fig3NPBSerial()
-		if err != nil {
-			return err
-		}
-		return writeTable("fig3_npb_serial", t)
-	})
-	run("fig4", func() error {
-		kernels := npb.Names()
-		if *quick {
-			kernels = []string{"ep", "cg", "ft", "is"}
-		}
-		for _, k := range kernels {
-			fig, err := experiments.Fig4NPBScaling(k)
-			if err != nil {
-				return err
+		for _, name := range sortedNames(r.Files) {
+			if err := os.WriteFile(filepath.Join(*out, name), r.Files[name], 0o644); err != nil {
+				fatal(err)
 			}
-			if err := writeFigure("fig4_"+k+"_scaling", fig); err != nil {
-				return err
+			if strings.HasSuffix(name, ".txt") {
+				fmt.Println(string(r.Files[name]))
 			}
 		}
+	}
+
+	fmt.Println(summary(results).Render())
+	if runErr != nil {
+		fatal(runErr)
+	}
+}
+
+// openCache resolves the cache flags; nil disables caching.
+func openCache(out, dir string, nocache bool) *sched.Cache {
+	if nocache {
 		return nil
-	})
-	run("table2", func() error {
-		t, err := experiments.Table2CommPercent()
-		if err != nil {
-			return err
+	}
+	if dir == "" {
+		dir = filepath.Join(out, ".cache")
+	}
+	cache, err := sched.OpenCache(dir)
+	if err != nil {
+		fatal(err)
+	}
+	return cache
+}
+
+// progress prints one line per job transition (serialized by the scheduler).
+func progress(e sched.Event) {
+	switch e.Type {
+	case sched.JobStarted:
+		fmt.Printf("[%s] running...\n", e.ID)
+	case sched.JobFinished:
+		r := e.Result
+		switch r.Status {
+		case sched.Done:
+			fmt.Printf("[%s] done in %s (simulated %ss)\n",
+				r.ID, report.FormatDuration(r.Wall), report.FormatFloat(r.Virtual))
+		case sched.Cached:
+			fmt.Printf("[%s] cache hit (cold run simulated %ss)\n",
+				r.ID, report.FormatFloat(r.Virtual))
+		case sched.Failed:
+			fmt.Printf("[%s] FAILED: %v\n", r.ID, r.Err)
+		case sched.Skipped:
+			fmt.Printf("[%s] skipped\n", r.ID)
 		}
-		return writeTable("table2_comm_percent", t)
-	})
-	run("fig5", func() error {
-		fig, err := experiments.Fig5Chaste()
-		if err != nil {
-			return err
+		if r.CacheErr != nil {
+			fmt.Printf("[%s] warning: cache write failed: %v\n", r.ID, r.CacheErr)
 		}
-		return writeFigure("fig5_chaste_speedup", fig)
+	}
+}
+
+// summary builds the per-job timing table.
+func summary(results []sched.Result) *report.Table {
+	t := &report.Table{
+		Title:   "Job summary",
+		Headers: []string{"job", "status", "wall", "simulated (s)", "files"},
+	}
+	var wall, virtual float64
+	for _, r := range results {
+		t.AddRow(r.ID, r.Status.String(), report.FormatDuration(r.Wall), r.Virtual, len(r.Files))
+		wall += r.Wall.Seconds()
+		virtual += r.Virtual
+	}
+	t.AddRow("total", "", report.FormatFloat(wall)+"s", virtual, "")
+	return t
+}
+
+// runChecks evaluates the paper's claims through the scheduler.
+func runChecks(workers int, cache *sched.Cache) {
+	checks, err := experiments.RunChecksScheduled(sched.Options{
+		Workers: workers,
+		Cache:   cache,
 	})
-	run("fig6", func() error {
-		fig, err := experiments.Fig6MetUM()
-		if err != nil {
-			return err
+	if err != nil {
+		fatal(err)
+	}
+	failed := 0
+	for _, c := range checks {
+		status := "PASS"
+		if !c.Passed {
+			status = "FAIL"
+			failed++
 		}
-		return writeFigure("fig6_metum_speedup", fig)
-	})
-	run("table3", func() error {
-		t, err := experiments.Table3MetUM()
-		if err != nil {
-			return err
-		}
-		return writeTable("table3_metum_32", t)
-	})
-	run("fig7", func() error {
-		txt, err := experiments.Fig7Breakdown()
-		if err != nil {
-			return err
-		}
-		fmt.Println(txt)
-		return os.WriteFile(filepath.Join(*out, "fig7_breakdown.txt"), []byte(txt), 0o644)
-	})
-	run("chaste32", func() error {
-		t, err := experiments.Chaste32Prose()
-		if err != nil {
-			return err
-		}
-		return writeTable("chaste32_ipm", t)
-	})
+		fmt.Printf("[%s] %-4s %s\n       measured: %s\n", c.ID, status, c.Claim, c.Detail)
+	}
+	fmt.Printf("\n%d/%d claims reproduced\n", len(checks)-failed, len(checks))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func sortedNames(files map[string][]byte) []string {
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func fatal(err error) {

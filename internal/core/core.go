@@ -13,7 +13,15 @@ import (
 	"repro/internal/ipm"
 	"repro/internal/mpi"
 	"repro/internal/platform"
+	"repro/internal/sim"
 )
+
+// ModelVersion identifies the calibration generation of the platform,
+// network, CPU and I/O models. It is part of every artefact cache key
+// (package sched), so bumping it invalidates all previously cached
+// results at once. Bump it whenever any modelled constant or algorithm
+// changes in a way that can alter an artefact's bytes.
+const ModelVersion = "v1"
 
 // RunSpec describes one job placement.
 type RunSpec struct {
@@ -29,6 +37,10 @@ type RunSpec struct {
 	// ExtraTracer, when set, observes events alongside the IPM profiler
 	// (e.g. a trace.Recorder exporting a Chrome timeline).
 	ExtraTracer mpi.Tracer
+	// Meter, when set, accumulates the virtual wall time of every run
+	// executed under this spec (scheduler jobs use it for per-job
+	// virtual-time accounting).
+	Meter *sim.Meter
 }
 
 // Outcome bundles the run result with its profile.
@@ -89,6 +101,7 @@ func Execute(spec RunSpec, fn func(c *mpi.Comm) error) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	spec.Meter.Add(res.Time)
 	return &Outcome{Result: res, Profile: prof.Snapshot(res)}, nil
 }
 

@@ -1,0 +1,8 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector instruments this build;
+// see race_on_test.go. Heavier golden sweeps are skipped under the
+// detector, whose ~10x slowdown would dominate `go test -race ./...`.
+const raceEnabled = false

@@ -1,0 +1,88 @@
+// Race stress: the scheduler runs whole simulated worlds concurrently,
+// so nothing inside a world — rank goroutines, inboxes, virtual clocks,
+// golden-reference maps — may share unsynchronized state with a sibling
+// world. This external-package test (suite imports mpi) drives two
+// 64-rank NPB skeletons at once and is most meaningful under
+// `go test -race`, which tier-1 verification runs.
+package mpi_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/npb"
+	"repro/internal/npb/suite"
+	"repro/internal/platform"
+)
+
+// skeleton64 runs one kernel's 64-rank class B skeleton and returns the
+// maximum rank virtual time.
+func skeleton64(t *testing.T, kernel string, p *platform.Platform) float64 {
+	t.Helper()
+	fn, err := suite.Skeleton(kernel)
+	if err != nil {
+		t.Error(err)
+		return 0
+	}
+	res, err := mpi.RunOn(p, 64, func(c *mpi.Comm) error {
+		return fn(c, npb.ClassB)
+	})
+	if err != nil {
+		t.Errorf("%s skeleton: %v", kernel, err)
+		return 0
+	}
+	return res.Time
+}
+
+// TestConcurrentWorldsStress runs two 64-rank NPB skeletons concurrently
+// (CG on Vayu, FT on DCC — 128 rank goroutines live at once), twice, and
+// asserts the virtual times are unaffected by the interleaving.
+func TestConcurrentWorldsStress(t *testing.T) {
+	type pair struct{ cg, ft float64 }
+	round := func() pair {
+		var p pair
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			p.cg = skeleton64(t, "cg", platform.Vayu())
+		}()
+		go func() {
+			defer wg.Done()
+			p.ft = skeleton64(t, "ft", platform.DCC())
+		}()
+		wg.Wait()
+		return p
+	}
+	first := round()
+	if first.cg <= 0 || first.ft <= 0 {
+		t.Fatalf("virtual times not positive: %+v", first)
+	}
+	if second := round(); second != first {
+		t.Fatalf("concurrent worlds not deterministic: %+v vs %+v", first, second)
+	}
+}
+
+// TestConcurrentSameKernel runs the same kernel skeleton in four worlds
+// at once — the scheduler's common case when fig4's panels regenerate in
+// parallel — and asserts all four agree.
+func TestConcurrentSameKernel(t *testing.T) {
+	const n = 4
+	times := make([]float64, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			defer wg.Done()
+			times[i] = skeleton64(t, "mg", platform.EC2())
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if times[i] != times[0] {
+			t.Fatalf("world %d time %v != world 0 time %v", i, times[i], times[0])
+		}
+	}
+}

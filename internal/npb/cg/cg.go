@@ -15,6 +15,7 @@ package cg
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/mpi"
 	"repro/internal/npb"
@@ -254,7 +255,10 @@ func Run(c *mpi.Comm, class npb.Class) (*Result, error) {
 	}
 
 	res := &Result{Class: class, Zeta: zeta, RNorm: rnorm, Time: c.Clock()}
-	if ref, ok := zetaReference[class]; ok {
+	refMu.RLock()
+	ref, ok := zetaReference[class]
+	refMu.RUnlock()
+	if ok {
 		if math.Abs(res.Zeta-ref) <= 1e-8*math.Abs(ref) {
 			res.Verified = true
 			res.VerifyMsg = "VERIFICATION SUCCESSFUL"
@@ -271,11 +275,20 @@ func Run(c *mpi.Comm, class npb.Class) (*Result, error) {
 // matrix (our makea substitution makes NPB's official zetas inapplicable).
 // They are deterministic across process counts up to floating-point
 // reordering; see cg_test.go, which also cross-checks np-independence.
-var zetaReference = map[npb.Class]float64{}
+// refMu guards the map: goldens may be registered while concurrent
+// simulations verify against them.
+var (
+	refMu         sync.RWMutex
+	zetaReference = map[npb.Class]float64{}
+)
 
 // SetReference records a golden zeta for a class (used by tests and the
 // harness after a trusted serial run).
-func SetReference(class npb.Class, zeta float64) { zetaReference[class] = zeta }
+func SetReference(class npb.Class, zeta float64) {
+	refMu.Lock()
+	zetaReference[class] = zeta
+	refMu.Unlock()
+}
 
 // Skeleton replays the reference NPB CG communication pattern on a
 // 2D process grid with phantom messages and calibrated work.

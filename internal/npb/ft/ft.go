@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
 
 	"repro/internal/mpi"
 	"repro/internal/npb"
@@ -295,7 +296,10 @@ func Run(c *mpi.Comm, class npb.Class) (*Result, error) {
 	}
 	res.Time = c.Clock()
 
-	if refs, ok := checksumReference[class]; ok {
+	refMu.RLock()
+	refs, ok := checksumReference[class]
+	refMu.RUnlock()
+	if ok {
 		res.Verified = true
 		res.VerifyMsg = "VERIFICATION SUCCESSFUL"
 		for i, want := range refs {
@@ -319,11 +323,18 @@ func Run(c *mpi.Comm, class npb.Class) (*Result, error) {
 // comment in cg for why the official NPB values do not apply to our
 // substituted initialisation path: the spectral evolution here follows the
 // plain diffusion factors rather than ft.f's index-shifted variant).
-var checksumReference = map[npb.Class][]complex128{}
+// refMu guards the map: goldens may be registered while concurrent
+// simulations verify against them.
+var (
+	refMu             sync.RWMutex
+	checksumReference = map[npb.Class][]complex128{}
+)
 
 // SetReference records golden checksums for a class.
 func SetReference(class npb.Class, sums []complex128) {
+	refMu.Lock()
 	checksumReference[class] = append([]complex128(nil), sums...)
+	refMu.Unlock()
 }
 
 // Skeleton replays FT's communication pattern: one alltoall per transform

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/mpi"
 	"repro/internal/npb"
@@ -487,7 +488,10 @@ func Run(c *mpi.Comm, class npb.Class) (*Result, error) {
 	res.RNorm = g.norm2(c, fine, fine.r)
 	res.Time = c.Clock()
 
-	if ref, ok := rnormReference[class]; ok {
+	refMu.RLock()
+	ref, ok := rnormReference[class]
+	refMu.RUnlock()
+	if ok {
 		if math.Abs(res.RNorm-ref) <= 1e-8*math.Abs(ref) {
 			res.Verified = true
 			res.VerifyMsg = "VERIFICATION SUCCESSFUL"
@@ -500,11 +504,20 @@ func Run(c *mpi.Comm, class npb.Class) (*Result, error) {
 	return res, nil
 }
 
-// rnormReference holds self-generated golden residual norms.
-var rnormReference = map[npb.Class]float64{}
+// rnormReference holds self-generated golden residual norms. refMu
+// guards the map: goldens may be registered while concurrent simulations
+// verify against them.
+var (
+	refMu          sync.RWMutex
+	rnormReference = map[npb.Class]float64{}
+)
 
 // SetReference records a golden residual norm for a class.
-func SetReference(class npb.Class, rnorm float64) { rnormReference[class] = rnorm }
+func SetReference(class npb.Class, rnorm float64) {
+	refMu.Lock()
+	rnormReference[class] = rnorm
+	refMu.Unlock()
+}
 
 // Skeleton replays MG's communication pattern: per V-cycle, face
 // exchanges at every level (message sizes shrinking 4x per level) and the

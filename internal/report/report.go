@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Table is a titled grid of cells.
@@ -47,6 +48,15 @@ func FormatFloat(v float64) string {
 	default:
 		return fmt.Sprintf("%.3g", v)
 	}
+}
+
+// FormatDuration renders a wall-clock duration compactly for timing
+// tables: millisecond precision below 10 s, centisecond above.
+func FormatDuration(d time.Duration) string {
+	if d < 10*time.Second {
+		return d.Round(time.Millisecond).String()
+	}
+	return d.Round(10 * time.Millisecond).String()
 }
 
 // Render returns the aligned text table.

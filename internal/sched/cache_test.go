@@ -1,0 +1,148 @@
+package sched
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestCacheRoundTrip: Put then Get returns the exact bytes and virtual
+// seconds stored.
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key{Experiment: "fig4", Params: "sweep=quick", Seed: 7, ModelVersion: "v1"}
+	files := map[string][]byte{
+		"a.csv": []byte("x,y\n1,2\n"),
+		"a.txt": {0, 1, 2, 0xff}, // binary survives the envelope
+	}
+	if err := c.Put(k, files, 123.5); err != nil {
+		t.Fatal(err)
+	}
+	got, virtual, ok := c.Get(k)
+	if !ok {
+		t.Fatal("want cache hit")
+	}
+	if virtual != 123.5 {
+		t.Errorf("virtual = %v, want 123.5", virtual)
+	}
+	if !reflect.DeepEqual(got, files) {
+		t.Errorf("files = %v, want %v", got, files)
+	}
+}
+
+// TestCacheKeyMismatchIsMiss: any single differing key field misses.
+func TestCacheKeyMismatchIsMiss(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key{Experiment: "e", Params: "p", Seed: 1, ModelVersion: "v1"}
+	if err := c.Put(k, map[string][]byte{"f": []byte("x")}, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, other := range []Key{
+		{Experiment: "e2", Params: "p", Seed: 1, ModelVersion: "v1"},
+		{Experiment: "e", Params: "p2", Seed: 1, ModelVersion: "v1"},
+		{Experiment: "e", Params: "p", Seed: 2, ModelVersion: "v1"},
+		{Experiment: "e", Params: "p", Seed: 1, ModelVersion: "v2"},
+	} {
+		if _, _, ok := c.Get(other); ok {
+			t.Errorf("key %+v unexpectedly hit", other)
+		}
+	}
+}
+
+// TestCacheCorruptEntryIsMiss: a truncated or garbage entry file reads as
+// a miss rather than bad data.
+func TestCacheCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key{Experiment: "e", Params: "p", ModelVersion: "v1"}
+	if err := c.Put(k, map[string][]byte{"f": []byte("x")}, 0); err != nil {
+		t.Fatal(err)
+	}
+	h := k.Hash()
+	path := filepath.Join(dir, h[:2], h+".json")
+	if err := os.WriteFile(path, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Get(k); ok {
+		t.Fatal("corrupt entry should miss")
+	}
+}
+
+// TestNilCacheIsNoop: a nil *Cache (the -nocache path) misses and
+// swallows writes without panicking.
+func TestNilCacheIsNoop(t *testing.T) {
+	var c *Cache
+	if _, _, ok := c.Get(Key{}); ok {
+		t.Fatal("nil cache should miss")
+	}
+	if err := c.Put(Key{}, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyKeyHash: hashing is deterministic, collision-free across
+// distinct keys (including field-boundary shifts) and hex-addressable.
+func TestPropertyKeyHash(t *testing.T) {
+	prop := func(a, b Key) bool {
+		if a.Hash() != a.Hash() {
+			return false
+		}
+		if a == b {
+			return a.Hash() == b.Hash()
+		}
+		return a.Hash() != b.Hash()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// Field boundaries must not collide: ("ab","c") vs ("a","bc").
+	k1 := Key{Experiment: "ab", Params: "c"}
+	k2 := Key{Experiment: "a", Params: "bc"}
+	if k1.Hash() == k2.Hash() {
+		t.Fatal("field-boundary collision")
+	}
+}
+
+// TestPropertyCacheRoundTrip: arbitrary file maps survive the envelope.
+func TestPropertyCacheRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seed uint64
+	prop := func(name string, data []byte, virtual float64) bool {
+		seed++
+		if math.IsNaN(virtual) || math.IsInf(virtual, 0) {
+			virtual = 0 // JSON cannot encode these; Put reports, not stores
+		}
+		k := Key{Experiment: "prop", Seed: seed, ModelVersion: "v1"}
+		if err := c.Put(k, map[string][]byte{name: data}, virtual); err != nil {
+			t.Logf("put: %v", err)
+			return false
+		}
+		files, v, ok := c.Get(k)
+		if !ok || v != virtual {
+			t.Logf("get: ok=%v virtual=%v", ok, v)
+			return false
+		}
+		got, present := files[name]
+		// encoding/json decodes an empty base64 string to nil bytes.
+		return present && (bytes.Equal(got, data) || (len(got) == 0 && len(data) == 0))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

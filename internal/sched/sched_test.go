@@ -1,0 +1,337 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// dag is a randomly generated scheduling scenario: n jobs whose edges only
+// point from lower to higher submission index, so it is acyclic by
+// construction, plus a worker bound.
+type dag struct {
+	N       int
+	Workers int
+	Edges   [][]int // Edges[i] lists dependency indices (< i) of job i
+}
+
+// Generate implements quick.Generator: up to 24 jobs, up to 8 workers,
+// each job depending on a random subset of its predecessors.
+func (dag) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 1 + r.Intn(24)
+	d := dag{N: n, Workers: 1 + r.Intn(8), Edges: make([][]int, n)}
+	for i := 1; i < n; i++ {
+		for j := 0; j < i; j++ {
+			if r.Intn(4) == 0 {
+				d.Edges[i] = append(d.Edges[i], j)
+			}
+		}
+	}
+	return reflect.ValueOf(d)
+}
+
+func (d dag) jobs(run func(i int) error) []Job {
+	jobs := make([]Job, d.N)
+	for i := 0; i < d.N; i++ {
+		i := i
+		var after []string
+		for _, j := range d.Edges[i] {
+			after = append(after, fmt.Sprintf("j%d", j))
+		}
+		jobs[i] = Job{
+			ID:    fmt.Sprintf("j%d", i),
+			After: after,
+			Run: func(*Ctx) (map[string][]byte, error) {
+				if err := run(i); err != nil {
+					return nil, err
+				}
+				return map[string][]byte{"out": []byte(fmt.Sprintf("j%d", i))}, nil
+			},
+		}
+	}
+	return jobs
+}
+
+// TestPropertyEveryJobRunsOnce: on random DAGs, every job's Run executes
+// exactly once, all results are Done in submission order, and the number
+// of concurrently running jobs never exceeds the worker bound.
+func TestPropertyEveryJobRunsOnce(t *testing.T) {
+	prop := func(d dag) bool {
+		runs := make([]atomic.Int32, d.N)
+		var inflight, peak atomic.Int32
+		jobs := d.jobs(func(i int) error {
+			cur := inflight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			runs[i].Add(1)
+			inflight.Add(-1)
+			return nil
+		})
+		results, err := Run(jobs, Options{Workers: d.Workers})
+		if err != nil {
+			t.Logf("run error: %v", err)
+			return false
+		}
+		for i := range runs {
+			if got := runs[i].Load(); got != 1 {
+				t.Logf("job %d ran %d times", i, got)
+				return false
+			}
+			if results[i].ID != jobs[i].ID || results[i].Status != Done {
+				t.Logf("result %d = %s/%s, want %s/done", i, results[i].ID, results[i].Status, jobs[i].ID)
+				return false
+			}
+		}
+		if p := int(peak.Load()); p > d.Workers {
+			t.Logf("observed %d concurrent jobs, worker bound %d", p, d.Workers)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDependencyOrder: on random DAGs, a job never starts before
+// every one of its dependencies has finished.
+func TestPropertyDependencyOrder(t *testing.T) {
+	prop := func(d dag) bool {
+		finished := make([]atomic.Bool, d.N)
+		violation := atomic.Bool{}
+		jobs := d.jobs(func(i int) error {
+			for _, dep := range d.Edges[i] {
+				if !finished[dep].Load() {
+					violation.Store(true)
+				}
+			}
+			finished[i].Store(true)
+			return nil
+		})
+		if _, err := Run(jobs, Options{Workers: d.Workers}); err != nil {
+			t.Logf("run error: %v", err)
+			return false
+		}
+		if violation.Load() {
+			t.Log("a job started before one of its dependencies finished")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCachedRunIdentical: with a cache, a warm Run returns byte
+// by byte the files of the cold run, with every job reported Cached.
+func TestPropertyCachedRunIdentical(t *testing.T) {
+	prop := func(d dag) bool {
+		cache, err := OpenCache(t.TempDir())
+		if err != nil {
+			t.Logf("open cache: %v", err)
+			return false
+		}
+		jobs := d.jobs(func(int) error { return nil })
+		for i := range jobs {
+			jobs[i].Key = &Key{Experiment: jobs[i].ID, Params: "p", ModelVersion: "test"}
+		}
+		cold, err := Run(jobs, Options{Workers: d.Workers, Cache: cache})
+		if err != nil {
+			t.Logf("cold run: %v", err)
+			return false
+		}
+		warm, err := Run(jobs, Options{Workers: d.Workers, Cache: cache})
+		if err != nil {
+			t.Logf("warm run: %v", err)
+			return false
+		}
+		for i := range warm {
+			if warm[i].Status != Cached {
+				t.Logf("job %s warm status %s, want cached", warm[i].ID, warm[i].Status)
+				return false
+			}
+			if !reflect.DeepEqual(cold[i].Files, warm[i].Files) {
+				t.Logf("job %s warm files differ from cold run", warm[i].ID)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFailFast: a failing job aborts jobs not yet started and skips its
+// dependents; results still come back for every job and Run reports the
+// failed job by name.
+func TestFailFast(t *testing.T) {
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	jobs := []Job{
+		{ID: "ok", Run: func(*Ctx) (map[string][]byte, error) {
+			<-release
+			return nil, nil
+		}},
+		{ID: "bad", Run: func(*Ctx) (map[string][]byte, error) {
+			close(started)
+			return nil, boom
+		}},
+		{ID: "child", After: []string{"bad"}, Run: func(*Ctx) (map[string][]byte, error) {
+			return nil, nil
+		}},
+		{ID: "grandchild", After: []string{"child"}, Run: func(*Ctx) (map[string][]byte, error) {
+			return nil, nil
+		}},
+	}
+	go func() {
+		<-started
+		close(release)
+	}()
+	results, err := Run(jobs, Options{Workers: 2})
+	if err == nil || !strings.Contains(err.Error(), "job bad failed") {
+		t.Fatalf("err = %v, want job bad failure", err)
+	}
+	want := map[string]Status{"ok": Done, "bad": Failed, "child": Skipped, "grandchild": Skipped}
+	for _, r := range results {
+		if r.Status != want[r.ID] {
+			t.Errorf("job %s status %s, want %s", r.ID, r.Status, want[r.ID])
+		}
+	}
+	if !errors.Is(results[1].Err, boom) {
+		t.Errorf("bad job error = %v, want %v", results[1].Err, boom)
+	}
+}
+
+// TestKeepGoing: with KeepGoing, independent jobs still run after a
+// failure; only dependents of the failed job are skipped.
+func TestKeepGoing(t *testing.T) {
+	jobs := []Job{
+		{ID: "bad", Run: func(*Ctx) (map[string][]byte, error) {
+			return nil, errors.New("boom")
+		}},
+		{ID: "child", After: []string{"bad"}, Run: func(*Ctx) (map[string][]byte, error) {
+			return nil, nil
+		}},
+		{ID: "indep", After: []string{}, Run: func(*Ctx) (map[string][]byte, error) {
+			return map[string][]byte{"f": []byte("x")}, nil
+		}},
+	}
+	results, err := Run(jobs, Options{Workers: 1, KeepGoing: true})
+	if err == nil {
+		t.Fatal("want error for failed job")
+	}
+	want := map[string]Status{"bad": Failed, "child": Skipped, "indep": Done}
+	for _, r := range results {
+		if r.Status != want[r.ID] {
+			t.Errorf("job %s status %s, want %s", r.ID, r.Status, want[r.ID])
+		}
+	}
+}
+
+// TestPanicRecovered: a panicking generator fails its own job only.
+func TestPanicRecovered(t *testing.T) {
+	jobs := []Job{{ID: "p", Run: func(*Ctx) (map[string][]byte, error) {
+		panic("kaboom")
+	}}}
+	results, err := Run(jobs, Options{})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err = %v, want panic message", err)
+	}
+	if results[0].Status != Failed {
+		t.Fatalf("status = %s, want failed", results[0].Status)
+	}
+}
+
+// TestGraphValidation: malformed graphs are rejected up front.
+func TestGraphValidation(t *testing.T) {
+	ok := func(*Ctx) (map[string][]byte, error) { return nil, nil }
+	cases := []struct {
+		name string
+		jobs []Job
+		want string
+	}{
+		{"empty id", []Job{{ID: "", Run: ok}}, "empty ID"},
+		{"dup id", []Job{{ID: "a", Run: ok}, {ID: "a", Run: ok}}, "duplicate"},
+		{"nil run", []Job{{ID: "a"}}, "no Run"},
+		{"unknown dep", []Job{{ID: "a", After: []string{"z"}, Run: ok}}, "unknown job"},
+		{"self dep", []Job{{ID: "a", After: []string{"a"}, Run: ok}}, "depends on itself"},
+		{"cycle", []Job{
+			{ID: "a", After: []string{"b"}, Run: ok},
+			{ID: "b", After: []string{"a"}, Run: ok},
+		}, "cycle"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			results, err := Run(tc.jobs, Options{})
+			if results != nil {
+				t.Error("want nil results for invalid graph")
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestEventsSerialized: OnEvent callbacks never overlap and report one
+// started and one finished event per executed job.
+func TestEventsSerialized(t *testing.T) {
+	d := dag{N: 12, Workers: 4, Edges: make([][]int, 12)}
+	var inCallback atomic.Int32
+	var mu sync.Mutex
+	counts := map[string]int{}
+	opt := Options{Workers: d.Workers, OnEvent: func(e Event) {
+		if inCallback.Add(1) != 1 {
+			t.Error("overlapping OnEvent callbacks")
+		}
+		mu.Lock()
+		switch e.Type {
+		case JobStarted:
+			counts["started:"+e.ID]++
+		case JobFinished:
+			counts["finished:"+e.ID]++
+		}
+		mu.Unlock()
+		inCallback.Add(-1)
+	}}
+	if _, err := Run(d.jobs(func(int) error { return nil }), opt); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.N; i++ {
+		id := fmt.Sprintf("j%d", i)
+		if counts["started:"+id] != 1 || counts["finished:"+id] != 1 {
+			t.Errorf("job %s events: started=%d finished=%d, want 1/1",
+				id, counts["started:"+id], counts["finished:"+id])
+		}
+	}
+}
+
+// TestVirtualTimeAttribution: simulated seconds added through the job's
+// meter surface in its Result.
+func TestVirtualTimeAttribution(t *testing.T) {
+	jobs := []Job{{ID: "m", Run: func(ctx *Ctx) (map[string][]byte, error) {
+		ctx.Meter().Add(2.5)
+		ctx.Meter().Add(1.5)
+		return map[string][]byte{"f": []byte("x")}, nil
+	}}}
+	results, err := Run(jobs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Virtual != 4.0 {
+		t.Fatalf("virtual = %v, want 4.0", results[0].Virtual)
+	}
+}

@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Meter is a concurrency-safe accumulator of virtual seconds. The
+// scheduler gives each artefact job its own meter and core.Execute adds
+// every completed run's virtual wall time to the meter attached to its
+// RunSpec, so a job's total simulated time can be reported next to the
+// real time it took to compute. The zero value is ready to use.
+type Meter struct {
+	bits atomic.Uint64 // float64 bits, updated by CAS
+}
+
+// Add accumulates secs (negative values are ignored).
+func (m *Meter) Add(secs float64) {
+	if m == nil || secs <= 0 {
+		return
+	}
+	for {
+		old := m.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + secs)
+		if m.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Total returns the accumulated virtual seconds.
+func (m *Meter) Total() float64 {
+	if m == nil {
+		return 0
+	}
+	return math.Float64frombits(m.bits.Load())
+}
