@@ -1,0 +1,46 @@
+# Stdlib-only Go module; every target uses only the toolchain.
+
+GO      ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build test race fmt vet fuzz verify results clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# Formatting is enforced, not advisory: a nonempty gofmt -l fails the build.
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short seeded-corpus fuzz passes over the fault plane and the spot-market
+# simulator. Bounded by FUZZTIME so verify stays a fixed-cost gate; raise it
+# (make fuzz FUZZTIME=5m) for a real fuzzing session.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzFaultPlan -fuzztime $(FUZZTIME) ./internal/fault
+	$(GO) test -run '^$$' -fuzz FuzzSpotRun -fuzztime $(FUZZTIME) ./internal/arrive
+
+# The full local gate: format, static checks, build, tests, race tests,
+# and a short fuzz pass. Mirrors what CI would run.
+verify: fmt vet build test race fuzz
+	@echo "verify: all gates passed"
+
+# Regenerate the committed seed artefacts (full sweep, seed 0).
+results: build
+	$(GO) run ./cmd/repro -out results -j 4
+
+clean:
+	rm -rf results/.cache

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/apps/chaste"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/mpi"
 	"repro/internal/platform"
 )
@@ -21,9 +22,15 @@ func main() {
 	platName := flag.String("platform", "vayu", "platform: vayu, dcc or ec2")
 	np := flag.Int("np", 32, "process count")
 	steps := flag.Int("steps", 0, "override timestep count (0 = paper's 250)")
+	faults := flag.String("faults", "",
+		"fault injection, e.g. mtbf=600,ckpt=25 (keys: mtbf, straggle, slow, degrade, dlat, dbw, horizon, ckpt, seed)")
 	flag.Parse()
 
 	p, err := platform.ByName(*platName)
+	if err != nil {
+		fatal(err)
+	}
+	fp, err := fault.ParseParams(*faults)
 	if err != nil {
 		fatal(err)
 	}
@@ -31,10 +38,20 @@ func main() {
 	if *steps > 0 {
 		cfg.Steps = *steps
 	}
-	var stats *chaste.Stats
-	out, err := core.Execute(core.RunSpec{
+	cfg.CheckpointEvery = fp.CheckpointEvery
+	spec := core.RunSpec{
 		Platform: p, NP: *np, MemPerRank: cfg.MemPerRank(*np),
-	}, func(c *mpi.Comm) error {
+	}
+	if fp.Enabled() {
+		plan, err := fault.Generate(fp.Spec, p.Name, "chaste", *np, p.Nodes, fp.Seed)
+		if err != nil {
+			fatal(err)
+		}
+		spec.Faults = plan
+		spec.Resilient = true
+	}
+	var stats *chaste.Stats
+	out, err := core.Execute(spec, func(c *mpi.Comm) error {
 		s, err := chaste.Run(c, cfg)
 		if err != nil {
 			return err
@@ -55,6 +72,10 @@ func main() {
 	fmt.Printf("  KSp     %8.1f s\n", stats.KSp)
 	fmt.Printf("  output  %8.1f s\n", stats.Output)
 	fmt.Printf("  %%comm   %8.1f\n", out.Profile.CommPercent())
+	if rs := out.Resilience; rs != nil && (rs.Restarts > 0 || rs.Checkpoints > 0) {
+		fmt.Printf("  faults  %d restart(s), %d checkpoint(s), %.1f s lost, %.1f s restart cost\n",
+			rs.Restarts, rs.Checkpoints, rs.LostWork, rs.RestartOverhead)
+	}
 	fmt.Println()
 	fmt.Print(out.Profile.String())
 }

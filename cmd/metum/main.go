@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/apps/metum"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/mpi"
 	"repro/internal/platform"
 	"repro/internal/report"
@@ -26,9 +27,15 @@ func main() {
 	steps := flag.Int("steps", 0, "override timestep count (0 = paper's 18)")
 	breakdown := flag.Bool("breakdown", false, "print the per-process ATM_STEP breakdown (Fig 7 style)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event timeline to this file")
+	faults := flag.String("faults", "",
+		"fault injection, e.g. mtbf=600,ckpt=3 (keys: mtbf, straggle, slow, degrade, dlat, dbw, horizon, ckpt, seed)")
 	flag.Parse()
 
 	p, err := platform.ByName(*platName)
+	if err != nil {
+		fatal(err)
+	}
+	fp, err := fault.ParseParams(*faults)
 	if err != nil {
 		fatal(err)
 	}
@@ -39,15 +46,25 @@ func main() {
 			cfg.Warmup = 0
 		}
 	}
+	cfg.CheckpointEvery = fp.CheckpointEvery
 	var rec *trace.Recorder
 	if *traceOut != "" {
 		rec = trace.New(*np)
 	}
-	var stats *metum.Stats
-	out, err := core.Execute(core.RunSpec{
+	spec := core.RunSpec{
 		Platform: p, NP: *np, Nodes: *nodes, MemPerRank: cfg.MemPerRank(*np),
 		ExtraTracer: tracerOrNil(rec),
-	}, func(c *mpi.Comm) error {
+	}
+	if fp.Enabled() {
+		plan, err := fault.Generate(fp.Spec, p.Name, "metum", *np, p.Nodes, fp.Seed)
+		if err != nil {
+			fatal(err)
+		}
+		spec.Faults = plan
+		spec.Resilient = true
+	}
+	var stats *metum.Stats
+	out, err := core.Execute(spec, func(c *mpi.Comm) error {
 		s, err := metum.Run(c, cfg)
 		if err != nil {
 			return err
@@ -67,6 +84,10 @@ func main() {
 	fmt.Printf("  I/O     %8.1f s\n", stats.IO)
 	fmt.Printf("  %%comm   %8.1f\n", out.Profile.CommPercent())
 	fmt.Printf("  %%imbal  %8.1f\n", out.Profile.LoadImbalancePercent())
+	if rs := out.Resilience; rs != nil && (rs.Restarts > 0 || rs.Checkpoints > 0) {
+		fmt.Printf("  faults  %d restart(s), %d checkpoint(s), %.1f s lost, %.1f s restart cost\n",
+			rs.Restarts, rs.Checkpoints, rs.LostWork, rs.RestartOverhead)
+	}
 	fmt.Println()
 	fmt.Print(out.Profile.String())
 

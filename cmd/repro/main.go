@@ -11,7 +11,13 @@
 // Usage:
 //
 //	repro [-out results] [-only fig1,fig4,table3] [-quick] [-j N]
-//	      [-seed N] [-nocache] [-cache DIR] [-check]
+//	      [-seed N] [-nocache] [-cache DIR] [-check] [-faults mtbf=600,ckpt=3]
+//
+// The fault1 artefact (E12) sweeps MetUM time-to-solution over MTBF and
+// checkpoint-interval classes on all three platforms; -faults subjects
+// every other artefact's NPB-skeleton and application runs to a
+// deterministic fault plan instead (the two-rank OSU calibration
+// microbenchmarks of fig1/fig2 always run fault-free).
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/report"
 	"repro/internal/sched"
 )
@@ -37,6 +44,8 @@ func main() {
 	seed := flag.Uint64("seed", 0, "base seed for every experiment's random streams")
 	nocache := flag.Bool("nocache", false, "ignore and do not update the result cache (force a cold rerun)")
 	cacheDir := flag.String("cache", "", "result cache directory (default <out>/.cache)")
+	faults := flag.String("faults", "",
+		"inject faults into every kernel/application run, e.g. mtbf=600,ckpt=3 (keys: mtbf, straggle, slow, degrade, dlat, dbw, horizon, ckpt, seed); part of the cache key")
 	flag.Parse()
 
 	cache := openCache(*out, *cacheDir, *nocache)
@@ -54,7 +63,11 @@ func main() {
 	if *quick {
 		sweep = experiments.SweepQuick
 	}
-	jobs, err := experiments.Jobs(sweep, *seed, ids)
+	fp, err := fault.ParseParams(*faults)
+	if err != nil {
+		fatal(err)
+	}
+	jobs, err := experiments.JobsFaults(sweep, *seed, fp, ids)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,61 @@
+package repro
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesSmoke builds each example program once, executes it twice,
+// and asserts a nonempty, run-to-run identical stdout digest: the
+// examples are living documentation, so they must keep compiling,
+// running, and — like everything else built on the simulator — producing
+// deterministic output.
+//
+// Skipped in -short mode and under the race detector: the examples are
+// separate main packages, so each costs a compile and runs without the
+// detector's instrumentation anyway.
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example builds skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("example builds skipped under the race detector")
+	}
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not on PATH: %v", err)
+	}
+	bindir := t.TempDir()
+	for _, name := range []string{"quickstart", "scaling", "cloudburst", "spotpricing", "vmpackaging"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			bin := filepath.Join(bindir, name)
+			build := exec.Command(gobin, "build", "-o", bin, "./examples/"+name)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build ./examples/%s: %v\n%s", name, err, out)
+			}
+			digest := func() string {
+				var stdout, stderr bytes.Buffer
+				cmd := exec.Command(bin)
+				cmd.Stdout = &stdout
+				cmd.Stderr = &stderr
+				if err := cmd.Run(); err != nil {
+					t.Fatalf("%s: %v\nstderr: %s", name, err, stderr.String())
+				}
+				if stdout.Len() == 0 {
+					t.Fatalf("%s printed nothing to stdout", name)
+				}
+				sum := sha256.Sum256(stdout.Bytes())
+				return hex.EncodeToString(sum[:])
+			}
+			first, second := digest(), digest()
+			if first != second {
+				t.Errorf("%s stdout differs between runs: %s vs %s", name, first, second)
+			}
+		})
+	}
+}

@@ -51,6 +51,13 @@ type Config struct {
 
 	MemTotal        int64
 	MemPerRankFixed int64
+
+	// CheckpointEvery writes a state checkpoint after every N timesteps
+	// (0 = off). Under a resilient run a failure resumes from the last
+	// durable checkpoint instead of re-reading and re-building the mesh.
+	CheckpointEvery int
+	// CheckpointBytes is the checkpoint volume (0 = MeshBytes).
+	CheckpointBytes int64
 }
 
 // Default returns the paper's rabbit-heart benchmark configuration.
@@ -116,25 +123,37 @@ func Run(c *mpi.Comm, cfg Config) (*Stats, error) {
 	// partitioner's uneven element counts.
 	phi := 1 + cfg.ImbalanceAmp*(c.RNG().Derive(0xC4A57E).Float64()-0.3)
 
-	// INPUT: rank 0 streams the mesh file and scatters chunks; every rank
-	// then runs the partly-serial partition/build phase.
-	c.Region("INPUT")
-	const tagMesh = 81
-	share := int(cfg.MeshBytes / int64(np))
-	c.SetSolo(true) // startup scatter: only rank 0 transmits
-	if c.Rank() == 0 {
-		c.ReadShared(cfg.MeshBytes, 1)
-		for r := 1; r < np; r++ {
-			c.SendN(r, tagMesh, share)
-		}
-	} else {
-		c.RecvN(0, tagMesh)
+	ckptBytes := cfg.CheckpointBytes
+	if ckptBytes == 0 {
+		ckptBytes = cfg.MeshBytes
 	}
-	c.SetSolo(false)
-	c.Compute(cpumodel.Work{Flops: cfg.BuildSerialFlops})
-	c.Compute(cpumodel.Work{Flops: cfg.BuildParallelFlops / float64(np)})
+	resume := c.ResumeStep()
+	inputStart := c.Clock()
+	c.Region("INPUT")
+	if resume == 0 {
+		// INPUT: rank 0 streams the mesh file and scatters chunks; every
+		// rank then runs the partly-serial partition/build phase.
+		const tagMesh = 81
+		share := int(cfg.MeshBytes / int64(np))
+		c.SetSolo(true) // startup scatter: only rank 0 transmits
+		if c.Rank() == 0 {
+			c.ReadShared(cfg.MeshBytes, 1)
+			for r := 1; r < np; r++ {
+				c.SendN(r, tagMesh, share)
+			}
+		} else {
+			c.RecvN(0, tagMesh)
+		}
+		c.SetSolo(false)
+		c.Compute(cpumodel.Work{Flops: cfg.BuildSerialFlops})
+		c.Compute(cpumodel.Work{Flops: cfg.BuildParallelFlops / float64(np)})
+	} else {
+		// Restart: each rank reads its checkpoint shard (the partition is
+		// stored with it, so the serial mesh build is not repeated).
+		c.ReadShared(ckptBytes/int64(np), np)
+	}
 	c.Barrier()
-	inputDone := c.Clock()
+	inputDone := c.Clock() - inputStart
 
 	// Per-step work shares.
 	kspWork := cpumodel.Work{
@@ -156,7 +175,7 @@ func Run(c *mpi.Comm, cfg Config) (*Stats, error) {
 
 	const tagHalo = 82
 	var kspTime float64
-	for step := 0; step < cfg.Steps; step++ {
+	for step := resume; step < cfg.Steps; step++ {
 		// ASSEMBLE: per-element matrix/RHS assembly and cell-model ODEs.
 		c.Region("ASSEMBLE")
 		c.Compute(asmWork)
@@ -189,6 +208,12 @@ func Run(c *mpi.Comm, cfg Config) (*Stats, error) {
 			c.AllreduceN(4)
 		}
 		kspTime += c.Clock() - kspStart
+
+		// CKPT: periodic state checkpoint (skipped after the final step).
+		if cfg.CheckpointEvery > 0 && (step+1)%cfg.CheckpointEvery == 0 && step+1 < cfg.Steps {
+			c.Region("CKPT")
+			c.Checkpoint(step+1, ckptBytes)
+		}
 	}
 
 	// OUTPUT: collective write; lock contention grows with writer count

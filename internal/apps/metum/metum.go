@@ -40,6 +40,14 @@ type Config struct {
 
 	MemTotal        int64 // model memory footprint, split across ranks
 	MemPerRankFixed int64 // per-rank fixed overhead (runtime, halos)
+
+	// CheckpointEvery writes a restart dump after every N timesteps
+	// (0 = no checkpointing, the paper's configuration). Under a
+	// resilient run a failure resumes from the last durable dump.
+	CheckpointEvery int
+	// CheckpointBytes is the restart dump size (0 = DumpBytes: the
+	// restart dump matches the input dump).
+	CheckpointBytes int64
 }
 
 // Default returns the paper's N320L70 benchmark configuration.
@@ -120,23 +128,36 @@ func Run(c *mpi.Comm, cfg Config) (*Stats, error) {
 	}
 	rx, ry := c.Rank()%px, c.Rank()/px
 
-	// INPUT: rank 0 reads the dump sequentially and distributes each
-	// rank's share, the UM read-on-PE0 startup pattern.
-	c.Region("INPUT")
-	const tagDump = 71
-	share := int(cfg.DumpBytes / int64(np))
-	var ioRead float64
-	c.SetSolo(true) // startup: only rank 0 transmits, no NIC contention
-	if c.Rank() == 0 {
-		c.ReadShared(cfg.DumpBytes, 1)
-		ioRead = c.Clock()
-		for r := 1; r < np; r++ {
-			c.SendN(r, tagDump, share)
-		}
-	} else {
-		c.RecvN(0, tagDump)
+	ckptBytes := cfg.CheckpointBytes
+	if ckptBytes == 0 {
+		ckptBytes = cfg.DumpBytes
 	}
-	c.SetSolo(false)
+	resume := c.ResumeStep()
+	inputStart := c.Clock()
+	c.Region("INPUT")
+	var ioRead float64
+	if resume == 0 {
+		// INPUT: rank 0 reads the dump sequentially and distributes each
+		// rank's share, the UM read-on-PE0 startup pattern.
+		const tagDump = 71
+		share := int(cfg.DumpBytes / int64(np))
+		c.SetSolo(true) // startup: only rank 0 transmits, no NIC contention
+		if c.Rank() == 0 {
+			c.ReadShared(cfg.DumpBytes, 1)
+			ioRead = c.Clock() - inputStart
+			for r := 1; r < np; r++ {
+				c.SendN(r, tagDump, share)
+			}
+		} else {
+			c.RecvN(0, tagDump)
+		}
+		c.SetSolo(false)
+	} else {
+		// Restart: every rank reads its own shard of the restart dump
+		// concurrently (rank-level checkpointing, no redistribution).
+		c.ReadShared(ckptBytes/int64(np), np)
+		ioRead = c.Clock() - inputStart
+	}
 	c.Barrier()
 
 	// Row communicator for the polar filter (all ranks split; only the
@@ -190,7 +211,12 @@ func Run(c *mpi.Comm, cfg Config) (*Stats, error) {
 	}
 
 	var warmedStart float64
-	for step := 0; step < cfg.Steps; step++ {
+	if resume > cfg.Warmup {
+		// A restart beyond the warmup steps: "warmed" time starts at the
+		// restore point (the pre-failure warmup is not re-run).
+		warmedStart = c.Clock()
+	}
+	for step := resume; step < cfg.Steps; step++ {
 		if step == cfg.Warmup {
 			warmedStart = c.Clock()
 		}
@@ -227,6 +253,13 @@ func Run(c *mpi.Comm, cfg Config) (*Stats, error) {
 			rowComm.AllgatherN(8 * cfg.NZ * (cfg.NX / px) / 4)
 		}
 		c.Compute(w.Scale(0.03))
+
+		// CKPT: periodic restart dump (skipped after the final step — the
+		// run is about to complete anyway).
+		if cfg.CheckpointEvery > 0 && (step+1)%cfg.CheckpointEvery == 0 && step+1 < cfg.Steps {
+			c.Region("CKPT")
+			c.Checkpoint(step+1, ckptBytes)
+		}
 	}
 	c.Region("END")
 	// Final synchronisation (the model's end-of-run reduction).

@@ -2,8 +2,8 @@ package arrive
 
 import (
 	"fmt"
-	"math"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -69,9 +69,44 @@ type SpotOutcome struct {
 	Interruptions int
 	WallHours     float64 // submission to completion, including waits
 	ComputeHours  float64 // billed node-hours
+	ProgressHours float64 // surviving job progress, node-local hours
 	Cost          float64 // spot bill, $
 	OnDemandCost  float64 // what the same job costs on demand, $
 	Savings       float64 // 1 - Cost/OnDemandCost (negative = more expensive)
+}
+
+// InterruptionPlan converts the price path against a bid into the fault
+// plane's terms: one outage window per contiguous span of outbid hours,
+// opening with a preemption of node 0 at the outage's first hour. Times
+// are in hours. The MPI runtime and SpotRun both consume this
+// representation, so the spot example and the simulated runtime can
+// never disagree about when capacity was lost.
+func (m *SpotMarket) InterruptionPlan(bid, maxHours float64) (*fault.Plan, error) {
+	if bid <= 0 {
+		return nil, fmt.Errorf("arrive: bid must be positive")
+	}
+	if maxHours < 0 {
+		return nil, fmt.Errorf("arrive: maxHours must be non-negative")
+	}
+	if maxHours == 0 {
+		maxHours = 24 * 14
+	}
+	p := &fault.Plan{}
+	out := false
+	for h := 0; float64(h) < maxHours; h++ {
+		if m.Price(h) > bid {
+			if !out {
+				out = true
+				p.Preemptions = append(p.Preemptions, fault.Preemption{Node: 0, At: float64(h)})
+				p.Outages = append(p.Outages, fault.Outage{Start: float64(h), End: float64(h) + 1})
+			} else {
+				p.Outages[len(p.Outages)-1].End = float64(h) + 1
+			}
+		} else {
+			out = false
+		}
+	}
+	return p, nil
 }
 
 // SpotRun executes a job of `hours` node-hours-per-node duration on
@@ -79,55 +114,58 @@ type SpotOutcome struct {
 // the spot price is at or below the bid, is interrupted (losing progress
 // back to the last checkpoint) when outbid, and resumes when the price
 // recovers. checkpointHours of 0 means no checkpointing: every
-// interruption restarts from zero. maxHours bounds the attempt.
+// interruption restarts from zero. maxHours bounds the attempt (0 = two
+// weeks). Negative checkpointHours or maxHours is an error.
 func (m *SpotMarket) SpotRun(hours float64, nodes int, bid, checkpointHours, maxHours float64) (SpotOutcome, error) {
 	if hours <= 0 || nodes <= 0 {
 		return SpotOutcome{}, fmt.Errorf("arrive: spot job needs positive size")
 	}
-	if bid <= 0 {
-		return SpotOutcome{}, fmt.Errorf("arrive: bid must be positive")
+	if checkpointHours < 0 {
+		return SpotOutcome{}, fmt.Errorf("arrive: checkpointHours must be non-negative")
 	}
-	if maxHours <= 0 {
+	if maxHours < 0 {
+		return SpotOutcome{}, fmt.Errorf("arrive: maxHours must be non-negative")
+	}
+	plan, err := m.InterruptionPlan(bid, maxHours)
+	if err != nil {
+		return SpotOutcome{}, err
+	}
+	if maxHours == 0 {
 		maxHours = 24 * 14
 	}
 	out := SpotOutcome{OnDemandCost: hours * float64(nodes) * m.OnDemand}
 
-	progress := 0.0   // completed node-local hours
-	checkpoint := 0.0 // durable progress
+	// Interruption mechanics are delegated to the fault plane: the plan
+	// says when capacity is lost, Progress does the checkpoint/rollback
+	// arithmetic; this loop only bills the hours.
+	prog := fault.Progress{Total: hours, Quantum: checkpointHours}
 	running := false
 	for h := 0; float64(h) < maxHours; h++ {
-		price := m.Price(h)
-		if price <= bid {
-			if !running && out.ComputeHours > 0 {
-				// Resuming after an interruption: restart from checkpoint.
-				progress = checkpoint
+		if plan.OutageAt(float64(h)) {
+			if running {
+				running = false
+				out.Interruptions++
+				prog.Interrupt()
 			}
-			running = true
-			// One hour of execution on all nodes.
-			step := math.Min(1, hours-progress)
-			progress += step
-			out.ComputeHours += step * float64(nodes)
-			out.Cost += step * float64(nodes) * price
-			if checkpointHours > 0 {
-				// Durable progress advances in checkpoint quanta.
-				checkpoint = math.Floor(progress/checkpointHours) * checkpointHours
-			}
-			if progress >= hours {
-				out.Completed = true
-				out.WallHours = float64(h) + 1
-				break
-			}
-		} else if running {
-			running = false
-			out.Interruptions++
-			if checkpointHours <= 0 {
-				checkpoint = 0
-			}
+			continue
+		}
+		running = true
+		step := prog.Advance(1)
+		out.ComputeHours += step * float64(nodes)
+		out.Cost += step * float64(nodes) * m.Price(h)
+		if checkpointHours > 0 {
+			prog.Checkpoint()
+		}
+		if prog.Completed() {
+			out.Completed = true
+			out.WallHours = float64(h) + 1
+			break
 		}
 	}
 	if !out.Completed {
 		out.WallHours = maxHours
 	}
+	out.ProgressHours = prog.Done
 	if out.OnDemandCost > 0 {
 		out.Savings = 1 - out.Cost/out.OnDemandCost
 	}

@@ -1,0 +1,131 @@
+package arrive
+
+import (
+	"testing"
+)
+
+// FuzzSpotRun checks SpotRun's invariants over arbitrary markets and
+// bids: never a negative cost or progress, progress bounded by the job
+// size, and a checkpointed attempt never slower than restart-from-zero
+// by more than one checkpoint quantum.
+func FuzzSpotRun(f *testing.F) {
+	f.Add(uint64(1), float64(24), uint8(4), float64(0.6), float64(1))
+	f.Add(uint64(2), float64(100), uint8(2), float64(0.35), float64(0)) // low bid, no ckpt
+	f.Add(uint64(3), float64(5), uint8(16), float64(2.0), float64(8))
+	f.Add(uint64(7), float64(60), uint8(1), float64(0.45), float64(3))
+	f.Fuzz(func(t *testing.T, seed uint64, hours float64, nodes8 uint8, bid, ckpt float64) {
+		// Sanitise into the valid domain; validation has its own tests.
+		if hours < 0 {
+			hours = -hours
+		}
+		hours = 0.5 + minf(hours, 168)
+		nodes := 1 + int(nodes8%16)
+		if bid < 0 {
+			bid = -bid
+		}
+		bid = 0.05 + minf(bid, 3)
+		if ckpt < 0 {
+			ckpt = -ckpt
+		}
+		ckpt = minf(ckpt, 12)
+
+		m := NewSpotMarket(seed)
+		out, err := m.SpotRun(hours, nodes, bid, ckpt, 0)
+		if err != nil {
+			t.Fatalf("valid inputs rejected: %v", err)
+		}
+		if out.Cost < 0 || out.ComputeHours < 0 || out.ProgressHours < 0 {
+			t.Fatalf("negative accounting: %+v", out)
+		}
+		if out.ProgressHours > hours+1e-9 {
+			t.Fatalf("progress %g exceeds job size %g", out.ProgressHours, hours)
+		}
+		if out.Completed != (out.ProgressHours >= hours-1e-9) {
+			t.Fatalf("completion flag disagrees with progress: %+v (size %g)", out, hours)
+		}
+		if out.Completed && out.WallHours < hours {
+			t.Fatalf("job of %gh completed in %gh of wall time", hours, out.WallHours)
+		}
+
+		// Checkpointing can only help: against the identical price path, a
+		// checkpointed attempt finishes no later than restart-from-zero,
+		// modulo one checkpoint quantum of unsaved work.
+		if ckpt > 0 {
+			zero, err := m.SpotRun(hours, nodes, bid, 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if zero.Completed && ckpt > 0 {
+				ckpted, err := m.SpotRun(hours, nodes, bid, ckpt, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ckpted.Completed || ckpted.WallHours > zero.WallHours+ckpt+1e-9 {
+					t.Fatalf("checkpointing made the run slower: ckpt=%+v zero=%+v", ckpted, zero)
+				}
+			}
+		}
+
+		// Determinism: the outcome is a pure function of its inputs.
+		again, err := m.SpotRun(hours, nodes, bid, ckpt, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != out {
+			t.Fatalf("spot run not deterministic:\n%+v\n%+v", out, again)
+		}
+	})
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestSpotRunValidatesNegativeKnobs(t *testing.T) {
+	m := NewSpotMarket(1)
+	if _, err := m.SpotRun(10, 2, 0.5, -1, 0); err == nil {
+		t.Error("negative checkpointHours must be rejected")
+	}
+	if _, err := m.SpotRun(10, 2, 0.5, 0, -5); err == nil {
+		t.Error("negative maxHours must be rejected")
+	}
+	if _, err := m.SpotRun(10, 2, 0, 0, 0); err == nil {
+		t.Error("non-positive bid must be rejected")
+	}
+	if _, err := m.InterruptionPlan(0, 0); err == nil {
+		t.Error("InterruptionPlan must reject bid <= 0")
+	}
+	if _, err := m.InterruptionPlan(0.5, -1); err == nil {
+		t.Error("InterruptionPlan must reject negative maxHours")
+	}
+}
+
+func TestInterruptionPlanMatchesPricePath(t *testing.T) {
+	m := NewSpotMarket(3)
+	const bid, horizon = 0.5, 200.0
+	plan, err := m.InterruptionPlan(bid, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; float64(h) < horizon; h++ {
+		outbid := m.Price(h) > bid
+		if got := plan.OutageAt(float64(h)); got != outbid {
+			t.Fatalf("hour %d: outage=%v but price %g vs bid %g", h, got, m.Price(h), bid)
+		}
+	}
+	// Every outage window opens with its preemption.
+	if len(plan.Outages) == 0 {
+		t.Skip("seed produced no outages below this bid")
+	}
+	if len(plan.Preemptions) != len(plan.Outages) {
+		t.Fatalf("%d preemptions for %d outages", len(plan.Preemptions), len(plan.Outages))
+	}
+	for i, o := range plan.Outages {
+		if plan.Preemptions[i].At != o.Start {
+			t.Fatalf("outage %d starts at %g but preemption at %g", i, o.Start, plan.Preemptions[i].At)
+		}
+	}
+}

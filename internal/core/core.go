@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/ipm"
 	"repro/internal/mpi"
 	"repro/internal/platform"
@@ -41,12 +42,25 @@ type RunSpec struct {
 	// executed under this spec (scheduler jobs use it for per-job
 	// virtual-time accounting).
 	Meter *sim.Meter
+	// Faults, when set, injects the fault plan into the world. Without
+	// Resilient, a preemption fails the run with mpi.ErrRankFailed.
+	Faults *fault.Plan
+	// Resilient runs the job under checkpoint/restart (mpi.RunResilient):
+	// a preempted world restarts from the application's last durable
+	// Checkpoint. With a nil/empty Faults plan the run is bit-identical
+	// to a plain Execute.
+	Resilient bool
+	// RestartDelay and MaxRestarts tune the resilient loop (0 = defaults).
+	RestartDelay float64
+	MaxRestarts  int
 }
 
 // Outcome bundles the run result with its profile.
 type Outcome struct {
 	Result  *mpi.Result
 	Profile *ipm.Profile
+	// Resilience is set for Resilient runs (nil otherwise).
+	Resilience *mpi.ResilientStats
 }
 
 // Time returns the job's virtual wall time.
@@ -93,9 +107,15 @@ func Execute(spec RunSpec, fn func(c *mpi.Comm) error) (*Outcome, error) {
 	if spec.Timeout > 0 {
 		opts = append(opts, mpi.WithTimeout(spec.Timeout))
 	}
+	if spec.Faults != nil {
+		opts = append(opts, mpi.WithFaults(spec.Faults))
+	}
 	w, err := mpi.NewWorld(spec.Platform, pl, opts...)
 	if err != nil {
 		return nil, err
+	}
+	if spec.Resilient {
+		return executeResilient(spec, w, fn)
 	}
 	res, err := w.Run(fn)
 	if err != nil {
@@ -103,6 +123,34 @@ func Execute(spec RunSpec, fn func(c *mpi.Comm) error) (*Outcome, error) {
 	}
 	spec.Meter.Add(res.Time)
 	return &Outcome{Result: res, Profile: prof.Snapshot(res)}, nil
+}
+
+// executeResilient runs the world under checkpoint/restart. Each
+// incarnation gets a fresh profiler so the surviving profile accounts
+// only the completing attempt; lost work and restart overhead are folded
+// in as the profiler's resilience columns.
+func executeResilient(spec RunSpec, w *mpi.World, fn func(c *mpi.Comm) error) (*Outcome, error) {
+	var prof *ipm.Profiler
+	cfg := mpi.ResilientConfig{
+		Plan:         spec.Faults,
+		RestartDelay: spec.RestartDelay,
+		MaxRestarts:  spec.MaxRestarts,
+		NewTracer: func(incarnation int) mpi.Tracer {
+			prof = ipm.New(spec.NP)
+			if spec.ExtraTracer != nil {
+				return mpi.Tee(prof, spec.ExtraTracer)
+			}
+			return prof
+		},
+	}
+	res, stats, err := w.RunResilient(cfg, fn)
+	if err != nil {
+		return nil, err
+	}
+	spec.Meter.Add(res.Time)
+	pr := prof.Snapshot(res)
+	pr.SetResilience(stats.Restarts, stats.Checkpoints, stats.LostWork, stats.RestartOverhead)
+	return &Outcome{Result: res, Profile: pr, Resilience: stats}, nil
 }
 
 // Best runs the spec `reps` times with distinct seeds and returns the

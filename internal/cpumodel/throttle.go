@@ -1,0 +1,48 @@
+package cpumodel
+
+// Throttle is a transient compute-slowdown window (a straggler): between
+// virtual times Start and End, every second of modelled computation takes
+// Factor wall seconds (Factor >= 1). Windows come from the fault plane;
+// the MPI runtime stretches each compute advance through them.
+type Throttle struct {
+	Start, End float64
+	Factor     float64
+}
+
+// StretchSeconds returns the virtual wall duration of `secs` seconds of
+// unthrottled compute work beginning at time t, with the portions that
+// fall inside throttle windows stretched by their factors. Windows must
+// be sorted by start and non-overlapping (the fault generator guarantees
+// both). With no active windows the result is exactly secs, so fault-free
+// runs are bit-identical to runs without the fault plane.
+func StretchSeconds(secs, t float64, windows []Throttle) float64 {
+	if secs <= 0 || len(windows) == 0 {
+		return secs
+	}
+	wall := 0.0
+	now := t
+	rem := secs // unthrottled work still to do
+	for _, w := range windows {
+		if w.End <= now || w.Factor <= 1 {
+			continue
+		}
+		if w.Start > now {
+			gap := w.Start - now
+			if rem <= gap {
+				return wall + rem
+			}
+			wall += gap
+			now = w.Start
+			rem -= gap
+		}
+		span := w.End - now         // wall capacity inside the window
+		capacity := span / w.Factor // work that fits inside the window
+		if rem <= capacity {
+			return wall + rem*w.Factor
+		}
+		wall += span
+		now = w.End
+		rem -= capacity
+	}
+	return wall + rem
+}

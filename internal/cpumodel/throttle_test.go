@@ -1,0 +1,95 @@
+package cpumodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStretchSecondsIdentityWithoutWindows(t *testing.T) {
+	// Exact equality matters: fault-free runs must be bit-identical.
+	for _, secs := range []float64{0, 0.1, 1.7320508075688772, 3600} {
+		if got := StretchSeconds(secs, 12.5, nil); got != secs {
+			t.Errorf("StretchSeconds(%v, nil) = %v", secs, got)
+		}
+	}
+}
+
+func TestStretchSecondsInsideWindow(t *testing.T) {
+	w := []Throttle{{Start: 0, End: 100, Factor: 3}}
+	if got := StretchSeconds(2, 10, w); got != 6 {
+		t.Errorf("2s at factor 3 took %v, want 6", got)
+	}
+}
+
+func TestStretchSecondsPiecewise(t *testing.T) {
+	// 1s free, then a 2s-wall window at factor 2 (1s of work), then free.
+	w := []Throttle{{Start: 1, End: 3, Factor: 2}}
+	// 3s of work starting at t=0: 1s free + 1s work stretched to 2s wall
+	// + 1s free after the window = 4s wall.
+	if got := StretchSeconds(3, 0, w); got != 4 {
+		t.Errorf("piecewise stretch = %v, want 4", got)
+	}
+	// Work that ends inside the gap before the window is untouched.
+	if got := StretchSeconds(0.5, 0, w); got != 0.5 {
+		t.Errorf("pre-window work = %v, want 0.5", got)
+	}
+	// Work starting after the window is untouched.
+	if got := StretchSeconds(5, 3, w); got != 5 {
+		t.Errorf("post-window work = %v, want 5", got)
+	}
+}
+
+// TestStretchSecondsProperties: the stretch never shrinks work, is
+// monotone in the amount of work, and a factor-1 window is a no-op.
+func TestStretchSecondsProperties(t *testing.T) {
+	mkWindows := func(a, b, c uint8, f uint8) []Throttle {
+		s1 := float64(a) / 8
+		w1 := Throttle{Start: s1, End: s1 + 0.5 + float64(b)/32, Factor: 1 + float64(f)/16}
+		s2 := w1.End + float64(c)/16
+		w2 := Throttle{Start: s2, End: s2 + 1, Factor: 2}
+		return []Throttle{w1, w2}
+	}
+	prop := func(secs16 uint16, t8, a, b, c, f uint8) bool {
+		secs := float64(secs16) / 1024
+		start := float64(t8) / 4
+		ws := mkWindows(a, b, c, f)
+		got := StretchSeconds(secs, start, ws)
+		if got < secs-1e-12 {
+			return false // throttling never speeds work up
+		}
+		// Monotone: more work never takes less wall time.
+		if StretchSeconds(secs+0.5, start, ws) < got-1e-12 {
+			return false
+		}
+		// Factor-1 windows are no-ops.
+		unit := []Throttle{{Start: 0, End: 1e9, Factor: 1}}
+		return StretchSeconds(secs, start, unit) == secs
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStretchSecondsConservesWork(t *testing.T) {
+	// The wall time decomposes exactly: free time passes 1:1, windowed
+	// time at the factor. Cross-check with a direct numeric integral.
+	ws := []Throttle{{Start: 2, End: 5, Factor: 4}, {Start: 7, End: 8, Factor: 2}}
+	secs, start := 6.0, 1.0
+	wall := StretchSeconds(secs, start, ws)
+	// Integrate work done over [start, start+wall).
+	const dt = 1e-5
+	work := 0.0
+	for x := start; x < start+wall; x += dt {
+		rate := 1.0
+		for _, w := range ws {
+			if x >= w.Start && x < w.End {
+				rate = 1 / w.Factor
+			}
+		}
+		work += rate * dt
+	}
+	if math.Abs(work-secs) > 1e-3 {
+		t.Errorf("integral of work over stretched wall = %v, want %v", work, secs)
+	}
+}

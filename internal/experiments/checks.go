@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/npb"
 	"repro/internal/platform"
 	"repro/internal/sched"
@@ -228,7 +229,7 @@ func CheckJobs() []sched.Job {
 		g := g
 		jobs = append(jobs, sched.Job{
 			ID:  g.ID,
-			Key: cacheKey("check:"+g.ID, SweepFull, 0),
+			Key: cacheKey("check:"+g.ID, SweepFull, 0, fault.Params{}),
 			Run: func(ctx *sched.Ctx) (map[string][]byte, error) {
 				checks, err := g.Run(&Ctx{Sweep: SweepFull, Meter: ctx.Meter()})
 				if err != nil {

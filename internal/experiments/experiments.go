@@ -15,6 +15,7 @@ import (
 	"repro/internal/apps/metum"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/ipm"
 	"repro/internal/mpi"
 	"repro/internal/npb"
@@ -63,6 +64,17 @@ type Ctx struct {
 	// Seed offsets every platform run's random streams (core.RunSpec.Seed);
 	// the paper's artefacts use 0. It is part of the scheduler cache key.
 	Seed uint64
+	// Faults, when enabled, subjects every platform run to a
+	// deterministically generated fault plan and executes it resiliently
+	// (the -faults flag). Part of the cache key; the zero value leaves
+	// all artefacts bit-identical to the fault-free baselines.
+	Faults fault.Params
+	// ForceResilient routes every platform run through the
+	// checkpoint/restart machinery (mpi.RunResilient) even when no fault
+	// plan is configured. An empty plan never fires, so artefacts must
+	// stay bit-identical to plain execution — the zero-fault identity
+	// test regenerates seed artefacts under this knob to prove it.
+	ForceResilient bool
 }
 
 // sizes returns the OSU message-size sweep.
@@ -127,6 +139,7 @@ func (x *Ctx) chasteConfig() chaste.Config {
 		cfg.Steps = 25
 		cfg.KSpItersPerStep = 10
 	}
+	cfg.CheckpointEvery = x.Faults.CheckpointEvery
 	return cfg
 }
 
@@ -138,6 +151,7 @@ func (x *Ctx) metumConfig() metum.Config {
 		cfg.HaloSwapsPerStep = 20
 		cfg.SolverItersPerStep = 15
 	}
+	cfg.CheckpointEvery = x.Faults.CheckpointEvery
 	return cfg
 }
 
@@ -147,7 +161,11 @@ func (x *Ctx) runSkeleton(name string, p *platform.Platform, np int, class npb.C
 	if err != nil {
 		return 0, err
 	}
-	out, err := core.Execute(core.RunSpec{Platform: p, NP: np, Seed: x.Seed, Meter: x.Meter}, func(c *mpi.Comm) error {
+	spec := core.RunSpec{Platform: p, NP: np, Seed: x.Seed, Meter: x.Meter}
+	if err := x.applyFaults(&spec, p, name, np); err != nil {
+		return 0, err
+	}
+	out, err := core.Execute(spec, func(c *mpi.Comm) error {
 		return fn(c, class)
 	})
 	if err != nil {
@@ -322,7 +340,11 @@ func (x *Ctx) commAt(kernel string, p *platform.Platform, np int) (float64, erro
 	if err != nil {
 		return 0, err
 	}
-	out, err := core.Execute(core.RunSpec{Platform: p, NP: np, Seed: x.Seed, Meter: x.Meter}, func(c *mpi.Comm) error {
+	spec := core.RunSpec{Platform: p, NP: np, Seed: x.Seed, Meter: x.Meter}
+	if err := x.applyFaults(&spec, p, kernel, np); err != nil {
+		return 0, err
+	}
+	out, err := core.Execute(spec, func(c *mpi.Comm) error {
 		return fn(c, npb.ClassB)
 	})
 	if err != nil {
@@ -335,9 +357,13 @@ func (x *Ctx) commAt(kernel string, p *platform.Platform, np int) (float64, erro
 func (x *Ctx) chasteRun(p *platform.Platform, np int) (*chaste.Stats, *core.Outcome, error) {
 	cfg := x.chasteConfig()
 	var stats *chaste.Stats
-	out, err := core.Execute(core.RunSpec{
+	spec := core.RunSpec{
 		Platform: p, NP: np, MemPerRank: cfg.MemPerRank(np), Seed: x.Seed, Meter: x.Meter,
-	}, func(c *mpi.Comm) error {
+	}
+	if err := x.applyFaults(&spec, p, "chaste", np); err != nil {
+		return nil, nil, err
+	}
+	out, err := core.Execute(spec, func(c *mpi.Comm) error {
 		s, err := chaste.Run(c, cfg)
 		if err != nil {
 			return err
@@ -397,9 +423,13 @@ func (x *Ctx) Fig5Chaste() (*report.Figure, error) {
 func (x *Ctx) umRun(p *platform.Platform, np, nodes int) (*metum.Stats, *core.Outcome, error) {
 	cfg := x.metumConfig()
 	var stats *metum.Stats
-	out, err := core.Execute(core.RunSpec{
+	spec := core.RunSpec{
 		Platform: p, NP: np, Nodes: nodes, MemPerRank: cfg.MemPerRank(np), Seed: x.Seed, Meter: x.Meter,
-	}, func(c *mpi.Comm) error {
+	}
+	if err := x.applyFaults(&spec, p, "metum", np); err != nil {
+		return nil, nil, err
+	}
+	out, err := core.Execute(spec, func(c *mpi.Comm) error {
 		s, err := metum.Run(c, cfg)
 		if err != nil {
 			return err

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/apps/metum"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/mpi"
+	"repro/internal/platform"
+	"repro/internal/report"
+)
+
+// applyFaults decorates a RunSpec with the Ctx's -faults parameters: a
+// plan generated deterministically from (spec, platform, experiment
+// label, np, seed) and the resilient execution mode. A disabled Params
+// leaves the spec alone (keeping fault-free artefacts bit-identical to
+// the seed baselines) unless ForceResilient asks for the restart
+// machinery anyway. E12 (TableE12Faults) ignores the Ctx params and
+// sweeps its own fault space.
+func (x *Ctx) applyFaults(spec *core.RunSpec, p *platform.Platform, experiment string, np int) error {
+	if x.ForceResilient {
+		spec.Resilient = true
+	}
+	if !x.Faults.Enabled() {
+		return nil
+	}
+	plan, err := fault.Generate(x.Faults.Spec, p.Name, experiment, np, p.Nodes, x.Faults.Seed)
+	if err != nil {
+		return err
+	}
+	spec.Faults = plan
+	spec.Resilient = true
+	return nil
+}
+
+// e12Nodes pins the E12 job to an explicit four-node footprint on every
+// platform (feasible even on EC2's four instances). The fault plan is
+// generated over the same four nodes, so the table's MTBF axis is the
+// MTBF *of the job* — the quantity Young's approximation expects — not a
+// cluster-wide rate diluted by however many idle nodes a platform has.
+const e12Nodes = 4
+
+// e12Run executes one resilient MetUM run for the E12 table. A nil plan
+// is the zero-fault baseline. The boolean reports "did not finish": the
+// restart budget was exhausted before the job completed — a legitimate,
+// deterministic outcome for aggressive MTBFs without checkpointing.
+func (x *Ctx) e12Run(p *platform.Platform, np, ckptEvery int, plan *fault.Plan) (*core.Outcome, bool, error) {
+	cfg := x.metumConfig()
+	cfg.CheckpointEvery = ckptEvery
+	out, err := core.Execute(core.RunSpec{
+		Platform: p, NP: np, Nodes: e12Nodes, MemPerRank: cfg.MemPerRank(np),
+		Seed: x.Seed, Meter: x.Meter,
+		Faults: plan, Resilient: plan != nil, MaxRestarts: 40,
+	}, func(c *mpi.Comm) error {
+		_, err := metum.Run(c, cfg)
+		return err
+	})
+	if err != nil {
+		if errors.Is(err, mpi.ErrRankFailed) {
+			return nil, true, nil
+		}
+		return nil, false, fmt.Errorf("e12 on %s: %w", p.Name, err)
+	}
+	return out, false, nil
+}
+
+// TableE12Faults produces the E12 artefact: MetUM time-to-solution at 16
+// ranks under node preemptions, swept over MTBF classes (scaled from each
+// platform's zero-fault baseline T) and checkpoint policies. Policies:
+//
+//   - none:  no checkpoints, every failure restarts from the input dump;
+//   - fixed: a dump every Steps/6 timesteps;
+//   - young: the interval from Young's approximation tau = sqrt(2*delta*MTBF),
+//     where delta is the platform's modelled checkpoint write time — so the
+//     optimal interval differs between Lustre (Vayu) and NFS (DCC/EC2).
+//
+// The checkpoint cost flows through iomodel.CheckpointSeconds, whose
+// durability commit serialises on NFS: the same policy is visibly more
+// expensive on the cloud platforms, and EC2's slower effective I/O plus
+// its compute tax make it the worst time-to-solution at every MTBF.
+func (x *Ctx) TableE12Faults() (*report.Table, error) {
+	const np = 16
+	t := &report.Table{
+		Title: "E12: MetUM time-to-solution under node preemptions, np=16 (MTBF x checkpoint policy)",
+		Headers: []string{"platform", "mtbf(s)", "policy", "ckpt every",
+			"time(s)", "xT", "restarts", "ckpts", "lost(s)", "dump(s)"},
+	}
+	cfg := x.metumConfig()
+	for _, p := range platform.All() {
+		base, _, err := x.e12Run(p, np, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		T := base.Result.Time
+		// delta: one rank's shard write plus the shared durability commit.
+		delta := p.FS.CheckpointSeconds(cfg.DumpBytes/int64(np), np)
+		stepTime := T / float64(cfg.Steps)
+		for _, scale := range []float64{0.5, 1, 4} {
+			mtbf := scale * T
+			// The MTBF class is part of the stream label so each class
+			// draws independent arrival times (otherwise every class would
+			// see the same pattern, merely rescaled).
+			plan, err := fault.Generate(fault.Spec{MTBF: mtbf, Horizon: 60 * T},
+				p.Name, fmt.Sprintf("e12/x%g", scale), np, e12Nodes, x.Seed)
+			if err != nil {
+				return nil, err
+			}
+			for _, pol := range []struct {
+				name  string
+				every int
+			}{
+				{"none", 0},
+				{"fixed", maxi(1, cfg.Steps/6)},
+				{"young", clampi(int(math.Round(math.Sqrt(2*delta*mtbf)/stepTime)), 1, cfg.Steps-1)},
+			} {
+				out, dnf, err := x.e12Run(p, np, pol.every, plan)
+				if err != nil {
+					return nil, err
+				}
+				if dnf {
+					t.AddRow(p.Name, mtbf, pol.name, pol.every, "dnf", "-", 40, "-", "-", delta)
+					continue
+				}
+				rs := out.Resilience
+				t.AddRow(p.Name, mtbf, pol.name, pol.every,
+					out.Result.Time, out.Result.Time/T,
+					rs.Restarts, rs.Checkpoints, rs.LostWork, delta)
+			}
+		}
+	}
+	return t, nil
+}
+
+// TableE12Faults is the full-sweep compatibility wrapper.
+func TableE12Faults() (*report.Table, error) { return (&Ctx{}).TableE12Faults() }
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func clampi(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/report"
 	"repro/internal/sched"
 )
@@ -120,6 +121,11 @@ func Registry() []Artefact {
 				t, err := x.Chaste32Prose()
 				return tableFiles("chaste32_ipm", t, err)
 			}},
+		{ID: "fault1", Kind: KindTable, Desc: "MetUM time-to-solution vs MTBF x checkpoint policy",
+			Gen: func(x *Ctx) (map[string][]byte, error) {
+				t, err := x.TableE12Faults()
+				return tableFiles("fault1_e12_resilience", t, err)
+			}},
 	}
 }
 
@@ -168,11 +174,17 @@ func Select(ids []string) ([]Artefact, error) {
 	return sel, nil
 }
 
-// cacheKey builds the content-address of one artefact computation.
-func cacheKey(id string, sweep Sweep, seed uint64) *sched.Key {
+// cacheKey builds the content-address of one artefact computation. The
+// faults fragment is included only when fault injection is configured,
+// so pre-existing fault-free cache entries stay valid.
+func cacheKey(id string, sweep Sweep, seed uint64, faults fault.Params) *sched.Key {
+	params := "sweep=" + string(sweep)
+	if f := faults.String(); f != "" {
+		params += ",faults={" + f + "}"
+	}
 	return &sched.Key{
 		Experiment:   id,
-		Params:       "sweep=" + string(sweep),
+		Params:       params,
 		Seed:         seed,
 		ModelVersion: core.ModelVersion,
 	}
@@ -182,6 +194,15 @@ func cacheKey(id string, sweep Sweep, seed uint64) *sched.Key {
 // the given sweep. Seed offsets every experiment's random streams and is
 // part of the cache key; the paper's artefacts use seed 0.
 func Jobs(sweep Sweep, seed uint64, ids []string) ([]sched.Job, error) {
+	return JobsFaults(sweep, seed, fault.Params{}, ids)
+}
+
+// JobsFaults is Jobs with a fault-injection configuration (cmd/repro
+// -faults): every NPB-skeleton and application run inside each artefact
+// is subjected to the deterministically generated plan and executed
+// resiliently (the two-rank OSU calibration microbenchmarks stay
+// fault-free). The params are part of each job's cache key.
+func JobsFaults(sweep Sweep, seed uint64, faults fault.Params, ids []string) ([]sched.Job, error) {
 	if sweep == "" {
 		sweep = SweepFull
 	}
@@ -194,9 +215,9 @@ func Jobs(sweep Sweep, seed uint64, ids []string) ([]sched.Job, error) {
 		a := a
 		jobs = append(jobs, sched.Job{
 			ID:  a.ID,
-			Key: cacheKey(a.ID, sweep, seed),
+			Key: cacheKey(a.ID, sweep, seed, faults),
 			Run: func(ctx *sched.Ctx) (map[string][]byte, error) {
-				return a.Gen(&Ctx{Sweep: sweep, Seed: seed, Meter: ctx.Meter()})
+				return a.Gen(&Ctx{Sweep: sweep, Seed: seed, Faults: faults, Meter: ctx.Meter()})
 			},
 		})
 	}

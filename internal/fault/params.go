@@ -1,0 +1,133 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Params bundles a generation Spec with the runtime knobs that ride
+// along on the -faults command-line flag (and in artefact cache keys).
+type Params struct {
+	Spec
+	// CheckpointEvery is the number of application timesteps between
+	// checkpoints (0 = checkpointing off).
+	CheckpointEvery int
+	// Seed offsets the fault streams independently of the platform seed.
+	Seed uint64
+}
+
+// Enabled reports whether the params inject any fault at all.
+func (p Params) Enabled() bool {
+	return p.MTBF > 0 || p.StragglerRate > 0 || p.DegradationRate > 0
+}
+
+// ParseParams parses the -faults flag syntax: comma-separated key=value
+// pairs, e.g. "mtbf=600,ckpt=3,seed=1". Keys:
+//
+//	mtbf=SECONDS    mean time between node preemptions
+//	straggle=RATE   straggler windows per rank per virtual hour
+//	slow=FACTOR     mean straggler slowdown factor (>= 1)
+//	degrade=RATE    link-degradation windows per virtual hour
+//	dlat=FACTOR     degraded latency multiplier (>= 1)
+//	dbw=FACTOR      degraded bandwidth divisor (>= 1)
+//	horizon=SECONDS schedule horizon
+//	ckpt=STEPS      checkpoint every N application timesteps
+//	seed=N          fault stream seed offset
+//
+// The empty string parses to the zero Params (no faults).
+func ParseParams(s string) (Params, error) {
+	var p Params
+	if strings.TrimSpace(s) == "" {
+		return p, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return Params{}, fmt.Errorf("fault: malformed -faults field %q (want key=value)", field)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		switch key {
+		case "ckpt":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return Params{}, fmt.Errorf("fault: ckpt wants a non-negative integer, got %q", val)
+			}
+			p.CheckpointEvery = n
+		case "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return Params{}, fmt.Errorf("fault: seed wants an unsigned integer, got %q", val)
+			}
+			p.Seed = n
+		default:
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Params{}, fmt.Errorf("fault: %s wants a number, got %q", key, val)
+			}
+			switch key {
+			case "mtbf":
+				p.MTBF = f
+			case "straggle":
+				p.StragglerRate = f
+			case "slow":
+				p.StragglerSlowdown = f
+			case "degrade":
+				p.DegradationRate = f
+			case "dlat":
+				p.DegradationLatency = f
+			case "dbw":
+				p.DegradationBandwidth = f
+			case "horizon":
+				p.Horizon = f
+			default:
+				return Params{}, fmt.Errorf("fault: unknown -faults key %q", key)
+			}
+		}
+	}
+	if err := p.Spec.Validate(); err != nil {
+		return Params{}, err
+	}
+	return p, nil
+}
+
+// String renders the params in canonical (sorted-key) flag syntax, so
+// equal params always produce equal cache-key fragments. The zero value
+// renders as "".
+func (p Params) String() string {
+	kv := map[string]string{}
+	put := func(k string, v float64) {
+		if v != 0 {
+			kv[k] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+	}
+	put("mtbf", p.MTBF)
+	put("straggle", p.StragglerRate)
+	put("slow", p.StragglerSlowdown)
+	put("degrade", p.DegradationRate)
+	put("dlat", p.DegradationLatency)
+	put("dbw", p.DegradationBandwidth)
+	put("horizon", p.Horizon)
+	if p.CheckpointEvery != 0 {
+		kv["ckpt"] = strconv.Itoa(p.CheckpointEvery)
+	}
+	if p.Seed != 0 {
+		kv["seed"] = strconv.FormatUint(p.Seed, 10)
+	}
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + kv[k]
+	}
+	return strings.Join(parts, ",")
+}

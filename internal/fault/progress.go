@@ -1,0 +1,75 @@
+package fault
+
+import "math"
+
+// Progress is the interruption arithmetic shared by the spot-market
+// runner and the resilient MPI runtime: work accumulates, some of it is
+// made durable by checkpoints, and an interruption rolls volatile work
+// back to the durable point. Units are whatever the caller measures work
+// in (node-hours for spot, virtual seconds for the runtime).
+//
+// Two checkpointing disciplines are supported:
+//
+//   - quantised (Quantum > 0): Checkpoint advances the durable point to
+//     the largest whole multiple of Quantum completed (hourly spot
+//     checkpoints at checkpointHours granularity);
+//   - explicit (Quantum == 0): Checkpoint makes all completed work
+//     durable (a rank-level application checkpoint at a known timestep).
+//
+// The zero value is an open-ended (Total == 0) uncheckpointed job.
+type Progress struct {
+	Total   float64 // work needed for completion; 0 = open-ended
+	Quantum float64 // durable granularity; 0 = explicit checkpoints
+
+	Done    float64 // completed work, possibly volatile
+	Durable float64 // work that survives an interruption
+}
+
+// Advance adds up to d units of work (clamped so Done never exceeds a
+// positive Total) and returns the amount actually added. Negative d
+// panics: progress never runs backwards except through Interrupt.
+func (p *Progress) Advance(d float64) float64 {
+	if d < 0 {
+		panic("fault: negative progress advance")
+	}
+	if p.Total > 0 {
+		d = math.Min(d, p.Total-p.Done)
+		if d < 0 {
+			d = 0
+		}
+	}
+	p.Done += d
+	return d
+}
+
+// Checkpoint makes completed work durable under the configured
+// discipline. The durable point never moves backwards.
+func (p *Progress) Checkpoint() {
+	durable := p.Done
+	if p.Quantum > 0 {
+		durable = math.Floor(p.Done/p.Quantum) * p.Quantum
+	}
+	if durable > p.Durable {
+		p.Durable = durable
+	}
+}
+
+// Interrupt rolls volatile work back to the durable point and returns
+// the amount of work lost.
+func (p *Progress) Interrupt() float64 {
+	lost := p.Done - p.Durable
+	p.Done = p.Durable
+	return lost
+}
+
+// Completed reports whether a bounded job has finished.
+func (p *Progress) Completed() bool { return p.Total > 0 && p.Done >= p.Total }
+
+// Remaining returns the outstanding work of a bounded job (0 when
+// open-ended or complete).
+func (p *Progress) Remaining() float64 {
+	if p.Total <= 0 {
+		return 0
+	}
+	return math.Max(0, p.Total-p.Done)
+}

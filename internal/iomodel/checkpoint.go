@@ -1,0 +1,20 @@
+package iomodel
+
+// CheckpointSeconds returns the virtual seconds for one rank to write an
+// n-byte checkpoint shard while `writers` ranks checkpoint concurrently.
+// A checkpoint is a write plus a durability commit: create, fsync and an
+// atomic rename, i.e. three extra metadata round-trips on top of the data
+// transfer. On NFS the commit serialises through the single server (like
+// reads), so checkpoints are disproportionately expensive on the
+// DCC/EC2 clouds compared to Lustre — a paper-faithful platform
+// difference that the fault experiments (E12) surface directly.
+func (f FS) CheckpointSeconds(n int64, writers int) float64 {
+	if writers < 1 {
+		writers = 1
+	}
+	commit := 3 * f.OpLat
+	if !f.ReadScales {
+		commit *= float64(writers)
+	}
+	return f.WriteSeconds(n, writers) + commit
+}

@@ -1,0 +1,36 @@
+package iomodel
+
+import "testing"
+
+func TestCheckpointCostsMoreThanPlainWrite(t *testing.T) {
+	for _, fs := range []FS{Lustre(), NFSDCC(), NFSEC2()} {
+		n := int64(64 << 20)
+		if ck, wr := fs.CheckpointSeconds(n, 8), fs.WriteSeconds(n, 8); ck <= wr {
+			t.Errorf("%s: checkpoint %v not dearer than write %v", fs.Name, ck, wr)
+		}
+	}
+}
+
+func TestCheckpointCommitSerialisesOnNFS(t *testing.T) {
+	// The durability commit (create+fsync+rename) serialises through the
+	// single NFS server but scales on Lustre: the per-writer commit
+	// overhead must grow with writer count on NFS and stay flat on Lustre.
+	commit := func(fs FS, writers int) float64 {
+		return fs.CheckpointSeconds(1, writers) - fs.WriteSeconds(1, writers)
+	}
+	nfs := NFSDCC()
+	if c1, c32 := commit(nfs, 1), commit(nfs, 32); c32 <= c1 {
+		t.Errorf("NFS commit should grow with writers: %v at 1 vs %v at 32", c1, c32)
+	}
+	lustre := Lustre()
+	if c1, c32 := commit(lustre, 1), commit(lustre, 32); c32 != c1 {
+		t.Errorf("Lustre commit should not grow with writers: %v at 1 vs %v at 32", c1, c32)
+	}
+}
+
+func TestCheckpointWriterFloor(t *testing.T) {
+	fs := NFSEC2()
+	if a, b := fs.CheckpointSeconds(1<<20, 0), fs.CheckpointSeconds(1<<20, 1); a != b {
+		t.Errorf("writers<1 should clamp to 1: %v vs %v", a, b)
+	}
+}

@@ -147,8 +147,35 @@ type Profile struct {
 	IO    sim.Series
 	Calls map[string]CallStats // aggregated over ranks
 
+	// Resilience accounting, populated (via SetResilience) for runs under
+	// the fault plane with checkpoint/restart. For such runs the per-rank
+	// identity comp + comm + io + LostWork + RestartOverhead <= wall
+	// holds: discarded incarnations occupy disjoint virtual intervals.
+	Restarts        int     // incarnations discarded by failures
+	Checkpoints     int     // durable checkpoints committed
+	LostWork        float64 // virtual seconds of discarded progress per rank
+	RestartOverhead float64 // virtual seconds spent restarting per rank
+
 	regions  []map[string]*RegionStats // per rank
 	sizeHist map[int]int               // aggregated
+}
+
+// SetResilience attaches checkpoint/restart accounting to the profile.
+func (pr *Profile) SetResilience(restarts, checkpoints int, lostWork, restartOverhead float64) {
+	pr.Restarts = restarts
+	pr.Checkpoints = checkpoints
+	pr.LostWork = lostWork
+	pr.RestartOverhead = restartOverhead
+}
+
+// LostWorkPercent returns lost (discarded plus restart) time as a
+// percentage of total walltime.
+func (pr *Profile) LostWorkPercent() float64 {
+	wall := pr.Wall.Sum()
+	if wall == 0 {
+		return 0
+	}
+	return 100 * float64(pr.NP) * (pr.LostWork + pr.RestartOverhead) / wall
 }
 
 // Snapshot combines the collected events with the run result into a

@@ -22,6 +22,13 @@ func (pr *Profile) Report(w io.Writer, jobname string) error {
 	fmt.Fprintf(&b, "# %%comm:           %12.2f\n", pr.CommPercent())
 	fmt.Fprintf(&b, "# %%io:             %12.2f\n", pr.IOPercent())
 	fmt.Fprintf(&b, "# %%load imbalance: %12.2f\n", pr.LoadImbalancePercent())
+	if pr.Restarts > 0 || pr.Checkpoints > 0 {
+		fmt.Fprintf(&b, "# restarts:        %12d\n", pr.Restarts)
+		fmt.Fprintf(&b, "# checkpoints:     %12d\n", pr.Checkpoints)
+		fmt.Fprintf(&b, "# lost work:       %12.4f s\n", pr.LostWork)
+		fmt.Fprintf(&b, "# restart cost:    %12.4f s\n", pr.RestartOverhead)
+		fmt.Fprintf(&b, "# %%lost:           %12.2f\n", pr.LostWorkPercent())
+	}
 	fmt.Fprintf(&b, "%s\n", bar)
 
 	fmt.Fprintf(&b, "# regions%s\n", strings.Repeat(" ", 20))
@@ -68,6 +75,11 @@ type jsonProfile struct {
 	Regions  map[string]jsonRegion `json:"regions"`
 	HistSize []int                 `json:"msg_hist_bytes"`
 	HistCnt  []int                 `json:"msg_hist_count"`
+
+	Restarts        int     `json:"restarts,omitempty"`
+	Checkpoints     int     `json:"checkpoints,omitempty"`
+	LostWork        float64 `json:"lost_work_seconds,omitempty"`
+	RestartOverhead float64 `json:"restart_overhead_seconds,omitempty"`
 }
 
 type jsonRegion struct {
@@ -95,6 +107,10 @@ func (pr *Profile) MarshalJSON() ([]byte, error) {
 		jp.Regions[name] = jsonRegion{Comp: comp.Sum(), Comm: comm.Sum(), IO: ioT.Sum()}
 	}
 	jp.HistSize, jp.HistCnt = pr.SizeHistogram()
+	jp.Restarts = pr.Restarts
+	jp.Checkpoints = pr.Checkpoints
+	jp.LostWork = pr.LostWork
+	jp.RestartOverhead = pr.RestartOverhead
 	return json.Marshal(jp)
 }
 

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/cpumodel"
 	"repro/internal/netmodel"
@@ -23,6 +24,9 @@ type rankState struct {
 	region string
 	quiet  int  // >0 suppresses tracing/accounting of nested operations
 	solo   bool // single-communicator phase: sender owns the whole NIC
+
+	deathAt   float64             // preemption time of this rank's node (+Inf: none)
+	throttles []cpumodel.Throttle // straggler windows from the fault plan
 }
 
 // Comm is one rank's handle on a communicator. The zero value is not
@@ -37,11 +41,40 @@ type Comm struct {
 
 func newComm(w *World, rank int, group []int) *Comm {
 	st := &rankState{
-		world: w,
-		wrank: rank,
-		rng:   sim.NewRNG(w.Platform.Seed ^ w.seed).Derive(uint64(rank) + 1),
+		world:   w,
+		wrank:   rank,
+		clock:   w.incStart,
+		rng:     sim.NewRNG(w.Platform.Seed ^ w.seed).Derive(uint64(rank) + 1),
+		deathAt: math.Inf(1),
+	}
+	if w.faults != nil {
+		if at, ok := w.faults.NodeDeath(w.Placement.NodeOf[rank], w.incStart); ok {
+			st.deathAt = at
+		}
+		st.throttles = w.faults.ThrottlesFor(rank)
 	}
 	return &Comm{st: st, ctx: 1, rank: rank, group: group}
+}
+
+// killPanic aborts the current rank at its scheduled preemption time;
+// abortPanic unwinds a surviving rank once a failed world is quiescent.
+// Both are recovered by World.Run.
+type (
+	killPanic  struct{}
+	abortPanic struct{}
+)
+
+// maybeDie kills this rank if its virtual clock has reached the node's
+// scheduled preemption. Checked at every operation boundary, so a rank
+// dies at the first quantum after the fault fires — deterministically,
+// because the clock itself is deterministic.
+func (c *Comm) maybeDie() {
+	st := c.st
+	if st.clock >= st.deathAt {
+		st.clock = st.deathAt
+		st.world.markFailed(st.wrank, st.world.Placement.NodeOf[st.wrank], st.deathAt)
+		panic(killPanic{})
+	}
 }
 
 // Rank returns this rank's index within the communicator.
@@ -123,6 +156,10 @@ func (c *Comm) advance(kind string, secs float64) {
 	if secs < 0 {
 		panic(fmt.Sprintf("mpi: negative %s advance %g", kind, secs))
 	}
+	c.maybeDie()
+	if kind == "compute" && len(c.st.throttles) > 0 {
+		secs = cpumodel.StretchSeconds(secs, c.st.clock, c.st.throttles)
+	}
 	start := c.st.clock
 	c.st.clock += secs
 	switch kind {
@@ -187,16 +224,26 @@ func (c *Comm) sendRaw(dst, tag int, data any, bytes int) float64 {
 	if tag < 0 {
 		panic(fmt.Sprintf("mpi: negative tag %d", tag))
 	}
+	c.maybeDie()
 	start := c.st.clock
+	w := c.st.world
 	wdst := c.group[dst]
-	link := c.st.world.link(c.st.wrank, wdst)
-	share := c.st.world.nicShare(c.st.wrank, wdst)
+	link := w.link(c.st.wrank, wdst)
+	share := w.nicShare(c.st.wrank, wdst)
 	if c.st.solo {
 		share = 1
 	}
+	if w.faults != nil && w.Placement.NodeOf[c.st.wrank] != w.Placement.NodeOf[wdst] {
+		// Inter-node transfers feel the fault plan's link degradation
+		// windows; intra-node copies never cross the degraded fabric.
+		if lf, bf := w.faults.DegradationAt(start); lf > 1 || bf > 1 {
+			dl := link.Degraded(lf, bf)
+			link = &dl
+		}
+	}
 	busy, delay := link.TransferShared(c.st.rng, bytes, share)
 	c.st.clock += busy
-	c.st.world.inboxes[wdst].put(&message{
+	w.inboxes[wdst].put(w, &message{
 		ctx: c.ctx, src: c.st.wrank, tag: tag, data: data, bytes: bytes, arrive: start + delay,
 	})
 	return start
@@ -205,12 +252,13 @@ func (c *Comm) sendRaw(dst, tag int, data any, bytes int) float64 {
 // recvRaw blocks for a matching message, advances the clock to its arrival
 // and returns it. src may be AnySource.
 func (c *Comm) recvRaw(src, tag int) *message {
+	c.maybeDie()
 	wsrc := AnySource
 	if src != AnySource {
 		c.checkRank(src, "source")
 		wsrc = c.group[src]
 	}
-	m := c.st.world.inboxes[c.st.wrank].match(c.ctx, wsrc, tag)
+	m := c.st.world.inboxes[c.st.wrank].match(c.st.world, c.ctx, wsrc, tag)
 	link := c.st.world.link(m.src, c.st.wrank)
 	if m.arrive > c.st.clock {
 		c.st.clock = m.arrive

@@ -1,0 +1,316 @@
+package mpi_test
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/cpumodel"
+	"repro/internal/fault"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// stepApp is a small checkpointable timestep loop: per-step compute, a
+// ring halo exchange and an allreduce, checkpointing every `every` steps.
+func stepApp(steps, every int) func(c *mpi.Comm) error {
+	return func(c *mpi.Comm) error {
+		np := c.Size()
+		next := (c.Rank() + 1) % np
+		prev := (c.Rank() - 1 + np) % np
+		for step := c.ResumeStep(); step < steps; step++ {
+			c.ComputeSeconds(0.25 + 0.05*float64(c.Rank()%3))
+			if np > 1 {
+				c.SendrecvN(next, 9, 4096, prev, 9)
+			}
+			c.AllreduceN(8)
+			if every > 0 && (step+1)%every == 0 && step+1 < steps {
+				c.Checkpoint(step+1, 64<<20)
+			}
+		}
+		return nil
+	}
+}
+
+func faultWorld(t *testing.T, np int, plan *fault.Plan) *mpi.World {
+	t.Helper()
+	p := platform.DCC()
+	pl, err := cluster.Place(p, cluster.Spec{NP: np, Policy: cluster.Spread, Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpi.NewWorld(p, pl, mpi.WithFaults(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestPreemptionFailsRunWithTypedError(t *testing.T) {
+	plan := &fault.Plan{Preemptions: []fault.Preemption{{Node: 1, At: 2.0}}}
+	w := faultWorld(t, 8, plan)
+	_, err := w.Run(stepApp(40, 0))
+	if err == nil {
+		t.Fatal("preempted run should fail")
+	}
+	if !errors.Is(err, mpi.ErrRankFailed) {
+		t.Fatalf("error should match ErrRankFailed, got %v", err)
+	}
+	var rf *mpi.RankFailedError
+	if !errors.As(err, &rf) {
+		t.Fatalf("error should be a *RankFailedError, got %T", err)
+	}
+	if rf.Node != 1 || rf.At != 2.0 {
+		t.Fatalf("failure should carry the scheduled event, got %+v", rf)
+	}
+}
+
+func TestPreemptionAfterCompletionIsHarmless(t *testing.T) {
+	plan := &fault.Plan{Preemptions: []fault.Preemption{{Node: 0, At: 1e9}}}
+	w := faultWorld(t, 8, plan)
+	if _, err := w.Run(stepApp(5, 0)); err != nil {
+		t.Fatalf("fault after the job ends must not fire: %v", err)
+	}
+}
+
+func TestRunResilientRestartsAndCompletes(t *testing.T) {
+	plan := &fault.Plan{Preemptions: []fault.Preemption{{Node: 2, At: 3.0}}}
+	w := faultWorld(t, 8, plan)
+	res, stats, err := w.RunResilient(mpi.ResilientConfig{Plan: plan}, stepApp(30, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Restarts != 1 || len(stats.Failures) != 1 {
+		t.Fatalf("want exactly one restart, got %+v", stats)
+	}
+	if stats.LostWork <= 0 || stats.LostWork > 3.0 {
+		t.Fatalf("lost work %g out of range (0, 3]", stats.LostWork)
+	}
+	if stats.Checkpoints == 0 {
+		t.Fatal("checkpoints should have committed")
+	}
+	if res.Time <= 3.0+30 {
+		t.Fatalf("time-to-solution %g should include the failure and restart delay", res.Time)
+	}
+
+	// Same plan, same world parameters: bit-identical outcome.
+	w2 := faultWorld(t, 8, plan)
+	res2, stats2, err := w2.RunResilient(mpi.ResilientConfig{Plan: plan}, stepApp(30, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, res2) || !reflect.DeepEqual(stats, stats2) {
+		t.Fatalf("resilient runs must be deterministic:\n%+v\n%+v", stats, stats2)
+	}
+}
+
+func TestRunResilientZeroFaultBitIdentical(t *testing.T) {
+	app := stepApp(12, 0)
+	w := faultWorld(t, 8, nil)
+	plain, err := w.Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := faultWorld(t, 8, nil)
+	res, stats, err := w2.RunResilient(mpi.ResilientConfig{}, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Restarts != 0 || stats.LostWork != 0 {
+		t.Fatalf("zero-fault run recorded overhead: %+v", stats)
+	}
+	if !reflect.DeepEqual(plain, res) {
+		t.Fatalf("zero-fault RunResilient must equal plain Run:\n%+v\n%+v", plain, res)
+	}
+}
+
+func TestRunResilientGivesUpAfterMaxRestarts(t *testing.T) {
+	// A fault storm no checkpoint interval survives: every incarnation
+	// dies before reaching the next checkpoint.
+	plan := &fault.Plan{}
+	for i := 0; i < 20; i++ {
+		plan.Preemptions = append(plan.Preemptions, fault.Preemption{Node: 0, At: 0.5 + 40*float64(i)})
+	}
+	w := faultWorld(t, 8, plan)
+	_, stats, err := w.RunResilient(mpi.ResilientConfig{Plan: plan, MaxRestarts: 3}, stepApp(400, 5))
+	if err == nil {
+		t.Fatal("run should give up")
+	}
+	if !errors.Is(err, mpi.ErrRankFailed) {
+		t.Fatalf("give-up error should wrap ErrRankFailed: %v", err)
+	}
+	if len(stats.Failures) != 4 {
+		t.Fatalf("want 4 recorded failures (initial + 3 restarts), got %d", len(stats.Failures))
+	}
+}
+
+func TestCheckpointMisusePanics(t *testing.T) {
+	w := faultWorld(t, 2, nil)
+	_, err := w.Run(func(c *mpi.Comm) error {
+		c.Checkpoint(0, 1024)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Checkpoint(0, ...) must abort the rank")
+	}
+}
+
+// TestFaultMonotonicity: stragglers and link degradation only ever slow
+// the job down — per-rank final clocks dominate the fault-free baseline.
+func TestFaultMonotonicity(t *testing.T) {
+	app := stepApp(10, 0)
+	base, err := faultWorld(t, 8, nil).Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed uint64) bool {
+		plan, err := fault.Generate(fault.Spec{
+			StragglerRate:   600, // ~one window per rank per 6s
+			DegradationRate: 900,
+			Horizon:         base.Time * 2,
+		}, "dcc", "mono", 8, 4, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := faultWorld(t, 8, plan).Run(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range res.RankTimes {
+			if res.RankTimes[r] < base.RankTimes[r]-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCausalityUnderFaults: under arbitrary straggler/degradation plans a
+// receive always completes at or after the send's start plus the link's
+// modelled minimum cost — degraded latency plus degraded serialisation.
+// Jitter is zeroed so the bound is exact; the sender publishes its clock
+// before sending and the message match gives the happens-before edge.
+func TestCausalityUnderFaults(t *testing.T) {
+	p := platform.DCC()
+	p.Inter.Jitter = sim.Jitter{}
+	p.ComputeJitter = sim.Jitter{}
+	pl, err := cluster.Place(p, cluster.Spec{NP: 2, Policy: cluster.Spread, Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := p.Link(0, 1)
+	const msgBytes = 1 << 14
+	prop := func(seed uint64, lat8, bw8 uint8) bool {
+		latF := 1 + float64(lat8)/16
+		bwF := 1 + float64(bw8)/16
+		minCost := link.SendOverhead + latF*link.Latency + float64(msgBytes)*bwF/link.Bandwidth
+		plan := &fault.Plan{
+			Stragglers: map[int][]cpumodel.Throttle{
+				0: {{Start: 0.5, End: 1.5, Factor: 1 + float64(seed%7)}},
+			},
+			Degradations: []netmodel.Degradation{
+				{Start: 0, End: 100, LatencyFactor: latF, BandwidthFactor: bwF},
+			},
+		}
+		w, err := mpi.NewWorld(p, pl, mpi.WithFaults(plan), mpi.WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const rounds = 20
+		sendAt := make([]float64, rounds)
+		ok := true
+		_, err = w.Run(func(c *mpi.Comm) error {
+			for i := 0; i < rounds; i++ {
+				if c.Rank() == 0 {
+					c.ComputeSeconds(0.05)
+					sendAt[i] = c.Clock()
+					c.SendN(1, 7, msgBytes)
+				} else {
+					c.RecvN(0, 7)
+					if c.Clock() < sendAt[i]+minCost {
+						ok = false
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentFailingWorldsStress runs several resilient worlds with
+// active fault planes concurrently — the race wall for the failure
+// scoreboard, the quiescent abort and the checkpoint store.
+func TestConcurrentFailingWorldsStress(t *testing.T) {
+	// The second preemption fires after the first restart (restart delay
+	// is 30s, so incarnation 1 begins at t=32).
+	plan := &fault.Plan{Preemptions: []fault.Preemption{
+		{Node: 1, At: 2.0}, {Node: 3, At: 40.0},
+	}}
+	const workers = 4
+	type run struct {
+		time     float64
+		restarts int
+		lost     float64
+	}
+	results := make([]run, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			w := faultWorld(t, 16, plan)
+			res, stats, err := w.RunResilient(mpi.ResilientConfig{Plan: plan}, stepApp(40, 4))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = run{time: res.Time, restarts: stats.Restarts, lost: stats.LostWork}
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("concurrent failing worlds diverged: %+v vs %+v", results[0], results[i])
+		}
+	}
+	if results[0].restarts != 2 {
+		t.Fatalf("want 2 restarts, got %+v", results[0])
+	}
+}
+
+// TestLostWorkBounded: lost work never exceeds the span between restore
+// point and failure, and total accounted time stays within wall time.
+func TestLostWorkBounded(t *testing.T) {
+	plan := &fault.Plan{Preemptions: []fault.Preemption{{Node: 0, At: 4.0}}}
+	w := faultWorld(t, 8, plan)
+	res, stats, err := w.RunResilient(mpi.ResilientConfig{Plan: plan}, stepApp(30, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LostWork < 0 || stats.RestartOverhead < 0 {
+		t.Fatalf("negative overheads: %+v", stats)
+	}
+	if stats.LostWork+stats.RestartOverhead >= res.Time {
+		t.Fatalf("overheads %g+%g exceed wall %g",
+			stats.LostWork, stats.RestartOverhead, res.Time)
+	}
+	if math.IsNaN(res.Time) || res.Time <= 0 {
+		t.Fatalf("bad wall time %g", res.Time)
+	}
+}

@@ -22,10 +22,21 @@ type message struct {
 }
 
 // inbox is one rank's unexpected-message queue with source/tag matching.
+// Each inbox has exactly one consumer (its rank's goroutine), so at most
+// one waiter with one match predicate exists at any time.
 type inbox struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	queue []*message
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*message
+	aborted bool // set by World.abortAll once a failed world is quiescent
+
+	// The blocked waiter's predicate, valid while waiting is true. A put
+	// whose message satisfies it credits the waiter back to "running" on
+	// the scoreboard atomically with delivery, so the world can never
+	// look quiescent while a satisfiable receive is pending.
+	waiting    bool
+	wctx       uint64
+	wsrc, wtag int
 }
 
 func newInbox() *inbox {
@@ -34,11 +45,19 @@ func newInbox() *inbox {
 	return b
 }
 
+func matches(m *message, ctx uint64, src, tag int) bool {
+	return m.ctx == ctx && (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag)
+}
+
 // put enqueues a message and wakes matchers. Messages from one sender are
 // enqueued in program order, giving per-(src,tag) FIFO matching.
-func (b *inbox) put(m *message) {
+func (b *inbox) put(w *World, m *message) {
 	b.mu.Lock()
 	b.queue = append(b.queue, m)
+	if b.waiting && matches(m, b.wctx, b.wsrc, b.wtag) {
+		b.waiting = false
+		w.exitBlocked()
+	}
 	b.mu.Unlock()
 	b.cond.Broadcast()
 }
@@ -46,15 +65,47 @@ func (b *inbox) put(m *message) {
 // match blocks until a message matching (ctx, src, tag) is available,
 // removes it from the queue and returns it. src/tag may be
 // AnySource/AnyTag; the communicator context always matches exactly.
-func (b *inbox) match(ctx uint64, src, tag int) *message {
+//
+// After a rank failure, a receive that can still be satisfied proceeds
+// normally; match panics with abortPanic only once the world is
+// quiescent (every surviving rank blocked on a receive no delivered or
+// future message can satisfy, so none will ever complete). This
+// "maximal progress" rule keeps post-failure state — in particular which
+// checkpoints committed — deterministic: a rank is never aborted while
+// any peer that could still send to it is runnable, so the set of
+// completed operations is the unique maximal one (the message-passing
+// program is a Kahn process network).
+func (b *inbox) match(w *World, ctx uint64, src, tag int) *message {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	for {
 		for i, m := range b.queue {
-			if m.ctx == ctx && (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+			if matches(m, ctx, src, tag) {
 				b.queue = append(b.queue[:i], b.queue[i+1:]...)
+				if b.waiting {
+					// Defensive: a found match implies put already
+					// credited this waiter, but keep the counts paired.
+					b.waiting = false
+					w.exitBlocked()
+				}
+				b.mu.Unlock()
 				return m
 			}
+		}
+		if b.aborted {
+			if b.waiting {
+				b.waiting = false
+				w.exitBlocked()
+			}
+			b.mu.Unlock()
+			panic(abortPanic{})
+		}
+		// Without a fault plan no rank can die, so the world can never
+		// need the quiescence test — skip the scoreboard bookkeeping
+		// (a world-global mutex) on the fault-free fast path.
+		if w.faults != nil && !b.waiting {
+			b.waiting = true
+			b.wctx, b.wsrc, b.wtag = ctx, src, tag
+			w.enterBlocked()
 		}
 		b.cond.Wait()
 	}

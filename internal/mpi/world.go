@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/platform"
 	"repro/internal/sim"
 )
@@ -58,6 +59,89 @@ type World struct {
 	tracer  Tracer
 	seed    uint64
 	timeout time.Duration
+
+	faults      *fault.Plan // nil = no fault injection
+	incStart    float64     // virtual time at which this incarnation's clocks start
+	resumeStep  int         // application step to resume from (0 = fresh start)
+	incarnation int         // restart count of this incarnation
+	resil       *resilState // checkpoint store shared across incarnations
+	sb          scoreboard  // rank liveness, for deterministic post-failure abort
+}
+
+// scoreboard tracks how many ranks can still make progress. After a rank
+// failure the world is aborted only once every surviving rank is blocked
+// in a receive (quiescent): at that point no message can ever arrive, so
+// the set of operations each rank completed is the unique maximal one —
+// which is what makes checkpoint state deterministic despite the
+// real-time races between goroutines.
+type scoreboard struct {
+	mu       sync.Mutex
+	running  int
+	failed   bool
+	failRank int
+	failNode int
+	failAt   float64
+}
+
+// enterBlocked marks a rank as blocked in a receive; called with the
+// rank's inbox lock held (lock order: inbox.mu, then scoreboard.mu).
+func (w *World) enterBlocked() {
+	w.sb.mu.Lock()
+	w.sb.running--
+	quiesce := w.sb.failed && w.sb.running == 0
+	w.sb.mu.Unlock()
+	if quiesce {
+		// abortAll takes inbox locks, which may include the one held by
+		// this caller; run it from a clean goroutine.
+		go w.abortAll()
+	}
+}
+
+// exitBlocked marks a rank runnable again after its receive matched (or
+// before it unwinds from an abort).
+func (w *World) exitBlocked() {
+	w.sb.mu.Lock()
+	w.sb.running++
+	w.sb.mu.Unlock()
+}
+
+// rankStopped records that a rank's goroutine finished (normally, by
+// dying, or by unwinding from an abort).
+func (w *World) rankStopped() {
+	w.sb.mu.Lock()
+	w.sb.running--
+	quiesce := w.sb.failed && w.sb.running == 0
+	w.sb.mu.Unlock()
+	if quiesce {
+		go w.abortAll()
+	}
+}
+
+// markFailed records a rank death. When several ranks die in one
+// incarnation (node-mates of the preempted node, or a second node whose
+// preemption fires before the world quiesces), the earliest *virtual*
+// death — tie-broken by rank — is the canonical failure, regardless of
+// the real-time order the dying goroutines happened to get scheduled
+// in. The restart point derives from this identity, so it must be
+// deterministic.
+func (w *World) markFailed(rank, node int, at float64) {
+	w.sb.mu.Lock()
+	if !w.sb.failed || at < w.sb.failAt || (at == w.sb.failAt && rank < w.sb.failRank) {
+		w.sb.failed = true
+		w.sb.failRank, w.sb.failNode, w.sb.failAt = rank, node, at
+	}
+	w.sb.mu.Unlock()
+}
+
+// abortAll wakes every blocked receiver with the abort flag set. Safe to
+// call multiple times.
+func (w *World) abortAll() {
+	for _, b := range w.inboxes {
+		b.mu.Lock()
+		b.aborted = true
+		b.mu.Unlock()
+		b.cond.Broadcast()
+	}
 }
 
 // Option configures a World.
@@ -73,6 +157,19 @@ func WithSeed(s uint64) Option { return func(w *World) { w.seed = s } }
 // WithTimeout bounds the real (wall-clock) execution time of Run; a run
 // exceeding it returns an error. The default is 5 minutes.
 func WithTimeout(d time.Duration) Option { return func(w *World) { w.timeout = d } }
+
+// WithFaults injects a deterministic fault plan: per-rank compute
+// throttles, inter-node link degradation windows and node preemptions.
+// A preempted node's ranks die at their scheduled virtual time and Run
+// returns a *RankFailedError; RunResilient additionally restarts the
+// world from its last checkpoint. A nil or empty plan changes nothing.
+func WithFaults(p *fault.Plan) Option {
+	return func(w *World) {
+		if !p.Empty() {
+			w.faults = p
+		}
+	}
+}
 
 // NewWorld creates a world of pl.NP ranks on p.
 func NewWorld(p *platform.Platform, pl *cluster.Placement, opts ...Option) (*World, error) {
@@ -128,13 +225,26 @@ func (w *World) Run(fn func(c *Comm) error) (*Result, error) {
 	}
 
 	errs := make([]error, w.np)
+	w.sb.mu.Lock()
+	w.sb.running = w.np
+	w.sb.mu.Unlock()
 	var wg sync.WaitGroup
 	wg.Add(w.np)
 	for r := 0; r < w.np; r++ {
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
-				if p := recover(); p != nil {
+				p := recover()
+				w.rankStopped()
+				switch p.(type) {
+				case nil:
+				case killPanic:
+					errs[rank] = &RankFailedError{
+						Rank: rank, Node: w.Placement.NodeOf[rank], At: comms[rank].st.clock,
+					}
+				case abortPanic:
+					errs[rank] = errPeerFailed
+				default:
 					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
 				}
 			}()
@@ -150,6 +260,12 @@ func (w *World) Run(fn func(c *Comm) error) (*Result, error) {
 		return nil, fmt.Errorf("mpi: run exceeded real-time limit %v (likely deadlock)", w.timeout)
 	}
 
+	w.sb.mu.Lock()
+	failed, failRank, failNode, failAt := w.sb.failed, w.sb.failRank, w.sb.failNode, w.sb.failAt
+	w.sb.mu.Unlock()
+	if failed {
+		return nil, &RankFailedError{Rank: failRank, Node: failNode, At: failAt}
+	}
 	for r, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("mpi: rank %d: %w", r, err)

@@ -1,0 +1,28 @@
+package netmodel
+
+import "fmt"
+
+// Degradation is a transient window of degraded link performance from
+// the fault plane: while active, inter-node latency is multiplied by
+// LatencyFactor and bandwidth divided by BandwidthFactor. Both factors
+// are >= 1 — degradation only ever slows a link down, which preserves
+// virtual-time causality (an arrival can be pushed later, never earlier).
+type Degradation struct {
+	Start, End      float64
+	LatencyFactor   float64
+	BandwidthFactor float64
+}
+
+// Degraded returns a copy of the link with latency multiplied by
+// latFactor and bandwidth divided by bwFactor. Factors below 1 panic:
+// a "degradation" that speeds the link up would let messages overtake
+// the causal order already committed to by earlier sends.
+func (l *Link) Degraded(latFactor, bwFactor float64) Link {
+	if latFactor < 1 || bwFactor < 1 {
+		panic(fmt.Sprintf("netmodel: degradation factors (%g,%g) must be >= 1", latFactor, bwFactor))
+	}
+	d := *l
+	d.Latency *= latFactor
+	d.Bandwidth /= bwFactor
+	return d
+}

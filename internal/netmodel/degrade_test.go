@@ -1,0 +1,44 @@
+package netmodel
+
+import "testing"
+
+func TestDegradedScalesLatencyAndBandwidth(t *testing.T) {
+	l := GigEVSwitch()
+	d := l.Degraded(8, 4)
+	if d.Latency != l.Latency*8 {
+		t.Errorf("latency %v, want %v", d.Latency, l.Latency*8)
+	}
+	if d.Bandwidth != l.Bandwidth/4 {
+		t.Errorf("bandwidth %v, want %v", d.Bandwidth, l.Bandwidth/4)
+	}
+	// Overheads and limits are those of the underlying link.
+	if d.SendOverhead != l.SendOverhead || d.EagerLimit != l.EagerLimit {
+		t.Error("degraded link must keep the base link's other parameters")
+	}
+	// The original link is untouched (Degraded returns a copy).
+	if l.Latency != GigEVSwitch().Latency {
+		t.Error("Degraded mutated the receiver")
+	}
+}
+
+func TestDegradedIdentity(t *testing.T) {
+	l := QDRInfiniBand()
+	d := l.Degraded(1, 1)
+	if d != l {
+		t.Errorf("factor-1 degradation must be the identity: %+v vs %+v", d, l)
+	}
+}
+
+func TestDegradedRejectsSpeedups(t *testing.T) {
+	l := GigEVSwitch()
+	for _, f := range [][2]float64{{0.5, 1}, {1, 0.5}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Degraded(%g,%g) must panic: a speed-up violates causality", f[0], f[1])
+				}
+			}()
+			l.Degraded(f[0], f[1])
+		}()
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package repro
+
+// raceEnabled reports whether the race detector instruments this build;
+// see race_on_test.go. The examples smoke test is skipped under the
+// detector — the example binaries it builds would not be instrumented.
+const raceEnabled = false
