@@ -3,7 +3,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race fmt vet fuzz verify results clean
+.PHONY: all build test race fmt vet fuzz bench bench-smoke verify results clean
 
 all: build
 
@@ -33,9 +33,21 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFaultPlan -fuzztime $(FUZZTIME) ./internal/fault
 	$(GO) test -run '^$$' -fuzz FuzzSpotRun -fuzztime $(FUZZTIME) ./internal/arrive
 
+# Full microbenchmark run: measures the perfbench suite (ns/op, B/op,
+# allocs/op), checks allocation budgets, and rewrites BENCH_PR3.json with
+# the committed numbers as the before column.
+bench: build
+	$(GO) run ./cmd/bench -baseline BENCH_PR3.json -out BENCH_PR3.json
+
+# Cheap regression gate: one AllocsPerRun pass per budgeted benchmark, no
+# timing. Fails when the message plane regresses past a committed budget.
+bench-smoke: build
+	$(GO) run ./cmd/bench -smoke
+
 # The full local gate: format, static checks, build, tests, race tests,
-# and a short fuzz pass. Mirrors what CI would run.
-verify: fmt vet build test race fuzz
+# a short fuzz pass, and the allocation-budget smoke. Mirrors what CI
+# would run.
+verify: fmt vet build test race fuzz bench-smoke
 	@echo "verify: all gates passed"
 
 # Regenerate the committed seed artefacts (full sweep, seed 0).

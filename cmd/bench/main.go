@@ -1,0 +1,95 @@
+// Command bench runs the perfbench suite: runtime microbenchmarks plus
+// figure-regeneration benchmarks, with committed allocation budgets.
+//
+// Usage:
+//
+//	bench [-out BENCH_PR3.json] [-baseline BENCH_PR3.json] [-smoke] [-runs N]
+//
+// Full mode measures every benchmark with testing.Benchmark (ns/op, B/op,
+// allocs/op), checks the allocation budgets with testing.AllocsPerRun and
+// writes the JSON report, carrying the baseline's "before" numbers along.
+// Smoke mode (-smoke) skips the timing measurements and only checks the
+// budgets with a single run each — the cheap gate `make verify` uses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/perfbench"
+)
+
+func main() {
+	out := flag.String("out", "", "write the JSON report to this file")
+	baseline := flag.String("baseline", "", "carry before-numbers from this prior report")
+	smoke := flag.Bool("smoke", false, "allocation-budget check only (1 run each, no timing)")
+	runs := flag.Int("runs", 3, "runs per testing.AllocsPerRun measurement")
+	flag.Parse()
+
+	suite := perfbench.Suite()
+
+	if *smoke {
+		measured, violations := perfbench.CheckBudgets(suite, 1)
+		for _, b := range suite {
+			if b.AllocBudget <= 0 {
+				continue
+			}
+			fmt.Printf("%-24s %8.0f allocs/run (budget %.0f)\n", b.Name, measured[b.Name], b.AllocBudget)
+		}
+		fail(violations)
+		fmt.Println("bench: all allocation budgets respected")
+		return
+	}
+
+	prev, err := perfbench.ReadReport(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+
+	entries := make([]perfbench.Entry, 0, len(suite))
+	for _, b := range suite {
+		fmt.Printf("%-24s ", b.Name)
+		st := perfbench.Measure(b)
+		fmt.Printf("%12.0f ns/op %10.0f B/op %8.0f allocs/op\n", st.NsPerOp, st.BytesPerOp, st.AllocsPerOp)
+		entries = append(entries, perfbench.Entry{Name: b.Name, After: &st, AllocBudget: b.AllocBudget})
+	}
+	measured, violations := perfbench.CheckBudgets(suite, *runs)
+	for i := range entries {
+		if v, ok := measured[entries[i].Name]; ok {
+			entries[i].AllocsPerRun = v
+		}
+	}
+
+	report := perfbench.NewReport(core.ModelVersion, entries, prev)
+	for _, e := range report.Benchmarks {
+		if s := e.Speedup(func(s perfbench.Stats) float64 { return s.AllocsPerOp }); s > 0 {
+			fmt.Printf("%-24s %6.1fx fewer allocs/op, %5.2fx ns/op vs baseline\n",
+				e.Name, s, e.Speedup(func(s perfbench.Stats) float64 { return s.NsPerOp }))
+		}
+	}
+	if *out != "" {
+		if err := perfbench.WriteReport(*out, report); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("bench: report written to %s\n", *out)
+	}
+	fail(violations)
+}
+
+// fail reports budget violations and exits nonzero if any exist.
+func fail(violations []perfbench.BudgetViolation) {
+	if len(violations) == 0 {
+		return
+	}
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "bench:", v.Error())
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

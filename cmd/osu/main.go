@@ -1,53 +1,149 @@
 // Command osu runs the OSU MPI micro-benchmarks (bandwidth and latency
-// between two compute nodes) on a modelled platform.
+// between two compute nodes) on a modelled platform. Platform and
+// benchmark accept "all", in which case the sweep's curves run as jobs on
+// the internal/sched worker pool — the same -j / result-cache machinery
+// as cmd/repro, so a repeated sweep is served from the cache instead of
+// re-simulated.
 //
 // Usage:
 //
-//	osu -platform vayu|dcc|ec2 -bench bw|latency [-seed N]
+//	osu -platform vayu|dcc|ec2|all -bench bw|latency|all [-seed N]
+//	    [-j N] [-cache DIR]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 
+	"repro/internal/core"
 	"repro/internal/osu"
 	"repro/internal/platform"
+	"repro/internal/sched"
 )
 
 func main() {
-	platName := flag.String("platform", "vayu", "platform: vayu, dcc or ec2")
-	bench := flag.String("bench", "bw", "benchmark: bw or latency")
+	platName := flag.String("platform", "vayu", "platform: vayu, dcc, ec2 or all")
+	bench := flag.String("bench", "bw", "benchmark: bw, latency or all")
 	seed := flag.Uint64("seed", 0, "jitter seed (repetition index)")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "number of benchmark jobs to run concurrently")
+	cacheDir := flag.String("cache", "", "result cache directory (empty: no cache)")
 	flag.Parse()
 
-	p, err := platform.ByName(*platName)
+	platforms, err := expandPlatforms(*platName)
 	if err != nil {
 		fatal(err)
 	}
-	sizes := osu.DefaultSizes()
-	switch *bench {
-	case "bw":
-		pts, err := osu.BandwidthSeeded(p, sizes, *seed)
-		if err != nil {
-			fatal(err)
+	benches, err := expandBenches(*bench)
+	if err != nil {
+		fatal(err)
+	}
+
+	var jobs []sched.Job
+	for _, p := range platforms {
+		for _, b := range benches {
+			p, b := p, b
+			id := fmt.Sprintf("osu-%s-%s", b, p.Name)
+			jobs = append(jobs, sched.Job{
+				ID: id,
+				Key: &sched.Key{
+					Experiment:   "osu-" + b,
+					Params:       fmt.Sprintf("platform=%s,sizes=default", p.Name),
+					Seed:         *seed,
+					ModelVersion: core.ModelVersion,
+				},
+				Run: func(ctx *sched.Ctx) (map[string][]byte, error) {
+					text, err := curve(p, b, *seed)
+					if err != nil {
+						return nil, err
+					}
+					return map[string][]byte{id + ".txt": []byte(text)}, nil
+				},
+			})
 		}
-		fmt.Printf("# OSU MPI bandwidth on %s (%s)\n# %10s %14s\n", p.Name, p.Inter.Name, "bytes", "MB/s")
+	}
+
+	results, runErr := sched.Run(jobs, sched.Options{
+		Workers: *workers,
+		Cache:   openCache(*cacheDir),
+	})
+	if results == nil {
+		fatal(runErr)
+	}
+	for _, r := range results {
+		if r.Status != sched.Done && r.Status != sched.Cached {
+			continue
+		}
+		for _, content := range r.Files {
+			fmt.Print(string(content))
+		}
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+}
+
+// curve renders one benchmark curve on one platform.
+func curve(p *platform.Platform, bench string, seed uint64) (string, error) {
+	sizes := osu.DefaultSizes()
+	var sb strings.Builder
+	switch bench {
+	case "bw":
+		pts, err := osu.BandwidthSeeded(p, sizes, seed)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "# OSU MPI bandwidth on %s (%s)\n# %10s %14s\n", p.Name, p.Inter.Name, "bytes", "MB/s")
 		for _, pt := range pts {
-			fmt.Printf("  %10d %14.2f\n", pt.Bytes, pt.Value)
+			fmt.Fprintf(&sb, "  %10d %14.2f\n", pt.Bytes, pt.Value)
 		}
 	case "latency":
-		pts, err := osu.LatencySeeded(p, sizes, *seed)
+		pts, err := osu.LatencySeeded(p, sizes, seed)
 		if err != nil {
-			fatal(err)
+			return "", err
 		}
-		fmt.Printf("# OSU MPI latency on %s (%s)\n# %10s %14s\n", p.Name, p.Inter.Name, "bytes", "us")
+		fmt.Fprintf(&sb, "# OSU MPI latency on %s (%s)\n# %10s %14s\n", p.Name, p.Inter.Name, "bytes", "us")
 		for _, pt := range pts {
-			fmt.Printf("  %10d %14.2f\n", pt.Bytes, pt.Value*1e6)
+			fmt.Fprintf(&sb, "  %10d %14.2f\n", pt.Bytes, pt.Value*1e6)
 		}
 	default:
-		fatal(fmt.Errorf("unknown benchmark %q (want bw or latency)", *bench))
+		return "", fmt.Errorf("unknown benchmark %q (want bw or latency)", bench)
 	}
+	return sb.String(), nil
+}
+
+func expandPlatforms(name string) ([]*platform.Platform, error) {
+	if name == "all" {
+		return []*platform.Platform{platform.Vayu(), platform.DCC(), platform.EC2()}, nil
+	}
+	p, err := platform.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return []*platform.Platform{p}, nil
+}
+
+func expandBenches(name string) ([]string, error) {
+	switch name {
+	case "all":
+		return []string{"bw", "latency"}, nil
+	case "bw", "latency":
+		return []string{name}, nil
+	}
+	return nil, fmt.Errorf("unknown benchmark %q (want bw, latency or all)", name)
+}
+
+func openCache(dir string) *sched.Cache {
+	if dir == "" {
+		return nil
+	}
+	cache, err := sched.OpenCache(dir)
+	if err != nil {
+		fatal(err)
+	}
+	return cache
 }
 
 func fatal(err error) {

@@ -1,6 +1,8 @@
 package chaste
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/cluster"
@@ -9,8 +11,29 @@ import (
 	"repro/internal/platform"
 )
 
+// runChaste simulates one (platform, np) point. Runs are deterministic,
+// and the tests below revisit the same points (the 8- and 64-core runs
+// appear in four tests each), so results are memoized: each point
+// simulates once per `go test` invocation. This matters most under
+// -race, where a full Chaste run costs tens of wall seconds.
+var chasteMemo sync.Map // "platform/np" -> chasteResult
+
+type chasteResult struct {
+	stats *Stats
+	out   *core.Outcome
+	err   error
+}
+
 func runChaste(t *testing.T, p *platform.Platform, np int) (*Stats, *core.Outcome) {
 	t.Helper()
+	key := fmt.Sprintf("%s/%d", p.Name, np)
+	if r, ok := chasteMemo.Load(key); ok {
+		res := r.(chasteResult)
+		if res.err != nil {
+			t.Fatal(res.err)
+		}
+		return res.stats, res.out
+	}
 	cfg := Default()
 	var stats *Stats
 	out, err := core.Execute(core.RunSpec{
@@ -26,6 +49,7 @@ func runChaste(t *testing.T, p *platform.Platform, np int) (*Stats, *core.Outcom
 		}
 		return nil
 	})
+	chasteMemo.Store(key, chasteResult{stats: stats, out: out, err: err})
 	if err != nil {
 		t.Fatal(err)
 	}

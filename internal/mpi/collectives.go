@@ -183,14 +183,14 @@ func (c *Comm) Reduce(op Op, root int, data []float64) {
 func (c *Comm) reduceBody(op Op, root int, data []float64) {
 	p := c.Size()
 	vr := (c.rank - root + p) % p
-	tmp := make([]float64, len(data))
 	mask := 1
 	for mask < p {
 		if vr&mask == 0 {
 			if vr+mask < p {
+				// Combine straight out of the arriving message's pooled
+				// payload: no per-round scratch slice.
 				src := (vr + mask + root) % p
-				c.Recv(src, tagReduce, tmp)
-				op.combine(data, tmp)
+				c.recvCombine(op, src, tagReduce, data)
 			}
 		} else {
 			dst := (vr - mask + root) % p
@@ -208,12 +208,10 @@ func (c *Comm) Allreduce(op Op, data []float64) {
 	p := c.Size()
 	c.collective("Allreduce", 8*len(data), func() {
 		if p&(p-1) == 0 {
-			tmp := make([]float64, len(data))
 			for mask := 1; mask < p; mask <<= 1 {
 				partner := c.rank ^ mask
 				c.Send(partner, tagAllred, data)
-				c.Recv(partner, tagAllred, tmp)
-				op.combine(data, tmp)
+				c.recvCombine(op, partner, tagAllred, data)
 			}
 			return
 		}
@@ -226,7 +224,8 @@ func (c *Comm) Allreduce(op Op, data []float64) {
 
 // AllreduceInts is Allreduce for int payloads.
 func (c *Comm) AllreduceInts(op Op, data []int) {
-	fd := make([]float64, len(data))
+	fdp := leaseScratch(len(data))
+	fd := *fdp
 	for i, v := range data {
 		fd[i] = float64(v)
 	}
@@ -235,6 +234,7 @@ func (c *Comm) AllreduceInts(op Op, data []int) {
 	for i, v := range fd {
 		data[i] = int(v)
 	}
+	releaseScratch(fdp)
 }
 
 // AllreduceN performs the communication pattern of an n-byte Allreduce

@@ -20,8 +20,11 @@ func (c *Comm) Alltoallv(send []float64, sendCounts []int, recv []float64, recvC
 	if len(sendCounts) != p || len(recvCounts) != p {
 		panic(fmt.Sprintf("mpi: Alltoallv counts length %d/%d, want %d", len(sendCounts), len(recvCounts), p))
 	}
-	sdispl := make([]int, p+1)
-	rdispl := make([]int, p+1)
+	sdisplP, rdisplP := leaseIntScratch(p+1), leaseIntScratch(p+1)
+	defer releaseIntScratch(sdisplP)
+	defer releaseIntScratch(rdisplP)
+	sdispl, rdispl := *sdisplP, *rdisplP
+	sdispl[0], rdispl[0] = 0, 0
 	for i := 0; i < p; i++ {
 		sdispl[i+1] = sdispl[i] + sendCounts[i]
 		rdispl[i+1] = rdispl[i] + recvCounts[i]
@@ -83,16 +86,19 @@ func (c *Comm) ReduceScatterBlock(op Op, data, recv []float64) {
 		panic(fmt.Sprintf("mpi: ReduceScatterBlock data length %d, want %d", len(data), p*n))
 	}
 	c.collective("Reduce_scatter", 8*n, func() {
-		// Reduce to rank 0 on a scratch copy, then scatter blocks.
-		tmp := append([]float64(nil), data...)
+		// Reduce to rank 0 on a pooled scratch copy (incoming rounds are
+		// combined straight out of their message payloads), then scatter
+		// blocks.
+		tmpP := leaseScratch(len(data))
+		defer releaseScratch(tmpP)
+		tmp := *tmpP
+		copy(tmp, data)
 		vr := c.rank
 		mask := 1
-		buf := make([]float64, len(data))
 		for mask < p {
 			if vr&mask == 0 {
 				if vr+mask < p {
-					c.Recv(vr+mask, tagRedScat, buf)
-					op.combine(tmp, buf)
+					c.recvCombine(op, vr+mask, tagRedScat, tmp)
 				}
 			} else {
 				c.Send(vr-mask, tagRedScat, tmp)
@@ -118,9 +124,7 @@ func (c *Comm) Scan(op Op, data []float64) {
 	p := c.Size()
 	c.collective("Scan", 8*len(data), func() {
 		if c.rank > 0 {
-			prev := make([]float64, len(data))
-			c.Recv(c.rank-1, tagScan, prev)
-			op.combine(data, prev)
+			c.recvCombine(op, c.rank-1, tagScan, data)
 		}
 		if c.rank < p-1 {
 			c.Send(c.rank+1, tagScan, data)
@@ -133,12 +137,17 @@ func (c *Comm) Scan(op Op, data []float64) {
 func (c *Comm) Exscan(op Op, data []float64) {
 	p := c.Size()
 	c.collective("Exscan", 8*len(data), func() {
-		inclusive := append([]float64(nil), data...)
+		inclusiveP := leaseScratch(len(data))
+		defer releaseScratch(inclusiveP)
+		inclusive := *inclusiveP
+		copy(inclusive, data)
 		if c.rank > 0 {
-			prev := make([]float64, len(data))
+			prevP := leaseScratch(len(data))
+			prev := *prevP
 			c.Recv(c.rank-1, tagScan+1, prev)
 			op.combine(inclusive, prev)
 			copy(data, prev)
+			releaseScratch(prevP)
 		} else {
 			for i := range data {
 				data[i] = 0

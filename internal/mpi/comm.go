@@ -214,9 +214,10 @@ func (c *Comm) checkRank(r int, what string) {
 	}
 }
 
-// sendRaw injects a message towards communicator rank dst and returns the
-// call start time. data may be nil for a phantom (size-only) message.
-func (c *Comm) sendRaw(dst, tag int, data any, bytes int) float64 {
+// sendMsg injects the (caller-filled) envelope m towards communicator
+// rank dst and returns the call start time. Ownership of m transfers to
+// the receiving rank at put; the caller must not touch it afterwards.
+func (c *Comm) sendMsg(dst, tag int, m *message, bytes int) float64 {
 	c.checkRank(dst, "destination")
 	if bytes < 0 {
 		panic("mpi: negative message size")
@@ -243,10 +244,29 @@ func (c *Comm) sendRaw(dst, tag int, data any, bytes int) float64 {
 	}
 	busy, delay := link.TransferShared(c.st.rng, bytes, share)
 	c.st.clock += busy
-	w.inboxes[wdst].put(w, &message{
-		ctx: c.ctx, src: c.st.wrank, tag: tag, data: data, bytes: bytes, arrive: start + delay,
-	})
+	m.ctx, m.src, m.tag = c.ctx, c.st.wrank, tag
+	m.bytes, m.arrive = bytes, start+delay
+	w.inboxes[wdst].put(w, m)
 	return start
+}
+
+// sendPhantom leases an envelope for an n-byte size-only message and
+// injects it.
+func (c *Comm) sendPhantom(dst, tag, n int) float64 {
+	m := newMessage()
+	m.kind = payloadNone
+	return c.sendMsg(dst, tag, m, n)
+}
+
+// sendF64 leases an envelope, copies data into its pooled payload buffer
+// and injects it. The copy is the only per-message data movement on the
+// send side; the buffer itself is recycled when the receiver completes.
+func (c *Comm) sendF64(dst, tag int, data []float64) float64 {
+	m := newMessage()
+	m.kind = payloadF64
+	m.f64 = grownF64(m.f64, len(data))
+	copy(m.f64, data)
+	return c.sendMsg(dst, tag, m, 8*len(data))
 }
 
 // recvRaw blocks for a matching message, advances the clock to its arrival
@@ -269,32 +289,38 @@ func (c *Comm) recvRaw(src, tag int) *message {
 
 // Send transmits data to communicator rank dst with the given tag,
 // blocking (in virtual time) for the eager injection cost. The slice is
-// copied, so the caller may reuse it immediately.
+// copied (into a pooled payload buffer), so the caller may reuse it
+// immediately.
 func (c *Comm) Send(dst, tag int, data []float64) {
-	cp := append([]float64(nil), data...)
-	start := c.sendRaw(dst, tag, cp, 8*len(cp))
-	c.record("Send", 8*len(cp), start)
+	start := c.sendF64(dst, tag, data)
+	c.record("Send", 8*len(data), start)
 }
 
 // SendInts transmits an int slice.
 func (c *Comm) SendInts(dst, tag int, data []int) {
-	cp := append([]int(nil), data...)
-	start := c.sendRaw(dst, tag, cp, 8*len(cp))
-	c.record("Send", 8*len(cp), start)
+	m := newMessage()
+	m.kind = payloadInt
+	m.ints = grownInt(m.ints, len(data))
+	copy(m.ints, data)
+	start := c.sendMsg(dst, tag, m, 8*len(data))
+	c.record("Send", 8*len(data), start)
 }
 
 // SendComplex transmits a complex128 slice.
 func (c *Comm) SendComplex(dst, tag int, data []complex128) {
-	cp := append([]complex128(nil), data...)
-	start := c.sendRaw(dst, tag, cp, 16*len(cp))
-	c.record("Send", 16*len(cp), start)
+	m := newMessage()
+	m.kind = payloadCplx
+	m.cplx = grownCplx(m.cplx, len(data))
+	copy(m.cplx, data)
+	start := c.sendMsg(dst, tag, m, 16*len(data))
+	c.record("Send", 16*len(data), start)
 }
 
 // SendN transmits a phantom message of n bytes: the full communication
-// cost is modelled but no payload is allocated. Skeleton workloads use
+// cost is modelled but no payload is copied. Skeleton workloads use
 // this to replay class-B communication patterns cheaply.
 func (c *Comm) SendN(dst, tag, n int) {
-	start := c.sendRaw(dst, tag, nil, n)
+	start := c.sendPhantom(dst, tag, n)
 	c.record("Send", n, start)
 }
 
@@ -305,7 +331,9 @@ func (c *Comm) Recv(src, tag int, buf []float64) int {
 	start := c.st.clock
 	m := c.recvRaw(src, tag)
 	n := copyFloat64(buf, m)
-	c.record("Recv", m.bytes, start)
+	bytes := m.bytes
+	m.release()
+	c.record("Recv", bytes, start)
 	return n
 }
 
@@ -314,7 +342,9 @@ func (c *Comm) RecvInts(src, tag int, buf []int) int {
 	start := c.st.clock
 	m := c.recvRaw(src, tag)
 	n := copyInt(buf, m)
-	c.record("Recv", m.bytes, start)
+	bytes := m.bytes
+	m.release()
+	c.record("Recv", bytes, start)
 	return n
 }
 
@@ -323,7 +353,9 @@ func (c *Comm) RecvComplex(src, tag int, buf []complex128) int {
 	start := c.st.clock
 	m := c.recvRaw(src, tag)
 	n := copyComplex(buf, m)
-	c.record("Recv", m.bytes, start)
+	bytes := m.bytes
+	m.release()
+	c.record("Recv", bytes, start)
 	return n
 }
 
@@ -331,11 +363,29 @@ func (c *Comm) RecvComplex(src, tag int, buf []complex128) int {
 func (c *Comm) RecvN(src, tag int) int {
 	start := c.st.clock
 	m := c.recvRaw(src, tag)
-	if m.data != nil {
+	if m.kind != payloadNone {
 		panic("mpi: RecvN matched a message with a real payload")
 	}
-	c.record("Recv", m.bytes, start)
-	return m.bytes
+	bytes := m.bytes
+	m.release()
+	c.record("Recv", bytes, start)
+	return bytes
+}
+
+// recvCombine receives a float64 message and folds it into data in
+// place, recycling the payload buffer afterwards — the zero-copy receive
+// path of the tree and recursive-doubling reductions, which previously
+// staged every round through a freshly allocated scratch slice.
+func (c *Comm) recvCombine(op Op, src, tag int, data []float64) {
+	start := c.st.clock
+	m := c.recvRaw(src, tag)
+	if m.kind != payloadF64 {
+		panic(fmt.Sprintf("mpi: reduction receive type mismatch: message holds %s, want []float64", m.kind))
+	}
+	op.combine(data, m.f64)
+	bytes := m.bytes
+	m.release()
+	c.record("Recv", bytes, start)
 }
 
 // Sendrecv performs a combined send to dst and receive from src (equal
@@ -343,11 +393,12 @@ func (c *Comm) RecvN(src, tag int) int {
 // because sends are eager.
 func (c *Comm) Sendrecv(dst, sendTag int, send []float64, src, recvTag int, recv []float64) int {
 	start := c.st.clock
-	cp := append([]float64(nil), send...)
-	c.sendRaw(dst, sendTag, cp, 8*len(cp))
+	c.sendF64(dst, sendTag, send)
 	m := c.recvRaw(src, recvTag)
 	n := copyFloat64(recv, m)
-	c.record("Sendrecv", 8*len(cp)+m.bytes, start)
+	bytes := m.bytes
+	m.release()
+	c.record("Sendrecv", 8*len(send)+bytes, start)
 	return n
 }
 
@@ -355,50 +406,49 @@ func (c *Comm) Sendrecv(dst, sendTag int, send []float64, src, recvTag int, recv
 // phantom message from src.
 func (c *Comm) SendrecvN(dst, sendTag, sendN, src, recvTag int) int {
 	start := c.st.clock
-	c.sendRaw(dst, sendTag, nil, sendN)
+	c.sendPhantom(dst, sendTag, sendN)
 	m := c.recvRaw(src, recvTag)
-	c.record("Sendrecv", sendN+m.bytes, start)
-	return m.bytes
+	bytes := m.bytes
+	m.release()
+	c.record("Sendrecv", sendN+bytes, start)
+	return bytes
 }
 
 func copyFloat64(buf []float64, m *message) int {
-	if m.data == nil {
+	if m.kind == payloadNone {
 		panic("mpi: typed receive matched a phantom message")
 	}
-	src, ok := m.data.([]float64)
-	if !ok {
-		panic(fmt.Sprintf("mpi: receive type mismatch: message holds %T, want []float64", m.data))
+	if m.kind != payloadF64 {
+		panic(fmt.Sprintf("mpi: receive type mismatch: message holds %s, want []float64", m.kind))
 	}
-	if len(src) > len(buf) {
-		panic(fmt.Sprintf("mpi: message truncated: %d elements into buffer of %d", len(src), len(buf)))
+	if len(m.f64) > len(buf) {
+		panic(fmt.Sprintf("mpi: message truncated: %d elements into buffer of %d", len(m.f64), len(buf)))
 	}
-	return copy(buf, src)
+	return copy(buf, m.f64)
 }
 
 func copyInt(buf []int, m *message) int {
-	if m.data == nil {
+	if m.kind == payloadNone {
 		panic("mpi: typed receive matched a phantom message")
 	}
-	src, ok := m.data.([]int)
-	if !ok {
-		panic(fmt.Sprintf("mpi: receive type mismatch: message holds %T, want []int", m.data))
+	if m.kind != payloadInt {
+		panic(fmt.Sprintf("mpi: receive type mismatch: message holds %s, want []int", m.kind))
 	}
-	if len(src) > len(buf) {
-		panic(fmt.Sprintf("mpi: message truncated: %d elements into buffer of %d", len(src), len(buf)))
+	if len(m.ints) > len(buf) {
+		panic(fmt.Sprintf("mpi: message truncated: %d elements into buffer of %d", len(m.ints), len(buf)))
 	}
-	return copy(buf, src)
+	return copy(buf, m.ints)
 }
 
 func copyComplex(buf []complex128, m *message) int {
-	if m.data == nil {
+	if m.kind == payloadNone {
 		panic("mpi: typed receive matched a phantom message")
 	}
-	src, ok := m.data.([]complex128)
-	if !ok {
-		panic(fmt.Sprintf("mpi: receive type mismatch: message holds %T, want []complex128", m.data))
+	if m.kind != payloadCplx {
+		panic(fmt.Sprintf("mpi: receive type mismatch: message holds %s, want []complex128", m.kind))
 	}
-	if len(src) > len(buf) {
-		panic(fmt.Sprintf("mpi: message truncated: %d elements into buffer of %d", len(src), len(buf)))
+	if len(m.cplx) > len(buf) {
+		panic(fmt.Sprintf("mpi: message truncated: %d elements into buffer of %d", len(m.cplx), len(buf)))
 	}
-	return copy(buf, src)
+	return copy(buf, m.cplx)
 }

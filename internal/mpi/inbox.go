@@ -11,30 +11,91 @@ const (
 	AnyTag    = -1
 )
 
-// message is an in-flight point-to-point message.
+// message is an in-flight point-to-point message. Envelopes (and the
+// payload capacity they carry) are recycled through msgPool; see pool.go
+// for the ownership rules.
 type message struct {
-	ctx    uint64 // communicator context id
-	src    int    // world rank of sender
-	tag    int
-	data   any     // payload slice, or nil for a phantom (size-only) message
+	ctx  uint64 // communicator context id
+	src  int    // world rank of sender
+	tag  int
+	kind payloadKind // which payload field is live (payloadNone: phantom)
+	f64  []float64
+	ints []int
+	cplx []complex128
+
 	bytes  int     // modelled payload size
 	arrive float64 // virtual arrival time at the receiver
+	seq    uint64  // per-inbox arrival stamp, orders wildcard matching
 }
 
-// inbox is one rank's unexpected-message queue with source/tag matching.
-// Each inbox has exactly one consumer (its rank's goroutine), so at most
-// one waiter with one match predicate exists at any time.
+// bucketKey addresses one exact-match FIFO queue.
+type bucketKey struct {
+	ctx      uint64
+	src, tag int
+}
+
+// bucket is one (ctx,src,tag) FIFO. head indexes the next message to
+// match; the tail of msgs holds the queued ones. The backing array is
+// retained across drains, so steady-state traffic enqueues without
+// allocating.
+type bucket struct {
+	head int
+	msgs []*message
+}
+
+// empty reports whether no message is queued.
+func (q *bucket) empty() bool { return q.head == len(q.msgs) }
+
+// push enqueues m, compacting the consumed prefix once it dominates the
+// slice so a never-idle queue cannot grow without bound.
+func (q *bucket) push(m *message) {
+	if q.head > 32 && q.head*2 >= len(q.msgs) {
+		n := copy(q.msgs, q.msgs[q.head:])
+		for i := n; i < len(q.msgs); i++ {
+			q.msgs[i] = nil
+		}
+		q.msgs = q.msgs[:n]
+		q.head = 0
+	}
+	q.msgs = append(q.msgs, m)
+}
+
+// pop removes and returns the oldest queued message.
+func (q *bucket) pop() *message {
+	m := q.msgs[q.head]
+	q.msgs[q.head] = nil // matched messages must not be retained
+	q.head++
+	if q.empty() {
+		q.msgs = q.msgs[:0]
+		q.head = 0
+	}
+	return m
+}
+
+// inbox is one rank's unexpected-message queue with source/tag matching,
+// bucketed by exact (ctx,src,tag) so the common explicit receive is a map
+// lookup plus a FIFO pop instead of a linear scan. Each inbox has exactly
+// one consumer (its rank's goroutine), so at most one waiter with one
+// match predicate exists at any time and a put can wake it with Signal.
 type inbox struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queue   []*message
-	aborted bool // set by World.abortAll once a failed world is quiescent
+	buckets map[bucketKey]*bucket
+	slab    []bucket // arena for bucket structs, amortises short-lived worlds
+	npend   int      // queued, unmatched messages across all buckets
+	seq     uint64   // next arrival stamp
+	aborted bool     // set by World.abortAll once a failed world is quiescent
 
 	// The blocked waiter's predicate, valid while waiting is true. A put
-	// whose message satisfies it credits the waiter back to "running" on
-	// the scoreboard atomically with delivery, so the world can never
-	// look quiescent while a satisfiable receive is pending.
+	// whose message satisfies it signals the consumer; one that cannot
+	// match leaves it asleep. scored additionally records that the waiter
+	// was counted as blocked on the fault plane's quiescence scoreboard
+	// (fault-free worlds skip that world-global bookkeeping); clearing it
+	// credits the waiter back to "running" atomically with delivery, so
+	// the world can never look quiescent while a satisfiable receive is
+	// pending.
 	waiting    bool
+	scored     bool
 	wctx       uint64
 	wsrc, wtag int
 }
@@ -49,21 +110,77 @@ func matches(m *message, ctx uint64, src, tag int) bool {
 	return m.ctx == ctx && (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag)
 }
 
-// put enqueues a message and wakes matchers. Messages from one sender are
-// enqueued in program order, giving per-(src,tag) FIFO matching.
+// put enqueues a message and wakes the consumer only when the message can
+// satisfy its pending receive. Messages from one sender are enqueued in
+// program order, giving per-(src,tag) FIFO matching.
 func (b *inbox) put(w *World, m *message) {
 	b.mu.Lock()
-	b.queue = append(b.queue, m)
+	m.seq = b.seq
+	b.seq++
+	if b.buckets == nil {
+		b.buckets = make(map[bucketKey]*bucket, 8)
+	}
+	k := bucketKey{ctx: m.ctx, src: m.src, tag: m.tag}
+	q := b.buckets[k]
+	if q == nil {
+		if len(b.slab) == 0 {
+			b.slab = make([]bucket, 16)
+		}
+		q = &b.slab[0]
+		b.slab = b.slab[1:]
+		b.buckets[k] = q
+	}
+	q.push(m)
+	b.npend++
 	if b.waiting && matches(m, b.wctx, b.wsrc, b.wtag) {
 		b.waiting = false
-		w.exitBlocked()
+		if b.scored {
+			b.scored = false
+			w.exitBlocked()
+		}
+		b.cond.Signal()
 	}
 	b.mu.Unlock()
-	b.cond.Broadcast()
+}
+
+// take removes and returns the oldest message matching (ctx, src, tag),
+// or nil. Exact receives hit their bucket directly; wildcard receives
+// scan the (small) bucket map for the lowest arrival stamp, preserving
+// the physical-arrival-order semantics of the pre-bucket queue. Caller
+// holds b.mu.
+func (b *inbox) take(ctx uint64, src, tag int) *message {
+	if src != AnySource && tag != AnyTag {
+		q := b.buckets[bucketKey{ctx: ctx, src: src, tag: tag}]
+		if q == nil || q.empty() {
+			return nil
+		}
+		b.npend--
+		return q.pop()
+	}
+	var best *bucket
+	for k, q := range b.buckets {
+		if q.empty() || k.ctx != ctx {
+			continue
+		}
+		if src != AnySource && k.src != src {
+			continue
+		}
+		if tag != AnyTag && k.tag != tag {
+			continue
+		}
+		if best == nil || q.msgs[q.head].seq < best.msgs[best.head].seq {
+			best = q
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	b.npend--
+	return best.pop()
 }
 
 // match blocks until a message matching (ctx, src, tag) is available,
-// removes it from the queue and returns it. src/tag may be
+// removes it from its bucket and returns it. src/tag may be
 // AnySource/AnyTag; the communicator context always matches exactly.
 //
 // After a rank failure, a receive that can still be satisfied proceeds
@@ -78,42 +195,55 @@ func (b *inbox) put(w *World, m *message) {
 func (b *inbox) match(w *World, ctx uint64, src, tag int) *message {
 	b.mu.Lock()
 	for {
-		for i, m := range b.queue {
-			if matches(m, ctx, src, tag) {
-				b.queue = append(b.queue[:i], b.queue[i+1:]...)
-				if b.waiting {
-					// Defensive: a found match implies put already
-					// credited this waiter, but keep the counts paired.
-					b.waiting = false
-					w.exitBlocked()
-				}
-				b.mu.Unlock()
-				return m
+		if m := b.take(ctx, src, tag); m != nil {
+			b.waiting = false
+			if b.scored {
+				// Defensive: a found match implies put already credited
+				// this waiter, but keep the counts paired.
+				b.scored = false
+				w.exitBlocked()
 			}
+			b.mu.Unlock()
+			return m
 		}
 		if b.aborted {
-			if b.waiting {
-				b.waiting = false
+			b.waiting = false
+			if b.scored {
+				b.scored = false
 				w.exitBlocked()
 			}
 			b.mu.Unlock()
 			panic(abortPanic{})
 		}
+		b.waiting = true
+		b.wctx, b.wsrc, b.wtag = ctx, src, tag
 		// Without a fault plan no rank can die, so the world can never
 		// need the quiescence test — skip the scoreboard bookkeeping
 		// (a world-global mutex) on the fault-free fast path.
-		if w.faults != nil && !b.waiting {
-			b.waiting = true
-			b.wctx, b.wsrc, b.wtag = ctx, src, tag
+		if w.faults != nil && !b.scored {
+			b.scored = true
 			w.enterBlocked()
 		}
 		b.cond.Wait()
 	}
 }
 
-// pending returns the number of queued, unmatched messages.
+// pending returns the number of queued, unmatched messages: a counter
+// maintained by put/take, so it stays O(1) over any number of buckets.
 func (b *inbox) pending() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.queue)
+	return b.npend
+}
+
+// pendingDebug returns the maintained counter alongside a brute-force
+// recount over every bucket, both read under one lock acquisition (test
+// hook for the counter invariant).
+func (b *inbox) pendingDebug() (counter, brute int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, q := range b.buckets {
+		brute += len(q.msgs) - q.head
+	}
+	return b.npend, brute
 }

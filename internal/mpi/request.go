@@ -25,15 +25,14 @@ type Request struct {
 // is charged immediately (the NIC serialises outgoing messages); Wait is a
 // local no-op, mirroring eager-protocol MPI.
 func (c *Comm) Isend(dst, tag int, data []float64) *Request {
-	cp := append([]float64(nil), data...)
-	start := c.sendRaw(dst, tag, cp, 8*len(cp))
-	c.record("Isend", 8*len(cp), start)
+	start := c.sendF64(dst, tag, data)
+	c.record("Isend", 8*len(data), start)
 	return &Request{c: c, isSend: true, done: true}
 }
 
 // IsendN posts a nonblocking phantom send of n bytes.
 func (c *Comm) IsendN(dst, tag, n int) *Request {
-	start := c.sendRaw(dst, tag, nil, n)
+	start := c.sendPhantom(dst, tag, n)
 	c.record("Isend", n, start)
 	return &Request{c: c, isSend: true, done: true}
 }
@@ -74,7 +73,7 @@ func (c *Comm) Wait(r *Request) int {
 	m := r.c.recvRaw(r.src, r.tag)
 	switch {
 	case r.phantom:
-		if m.data != nil {
+		if m.kind != payloadNone {
 			panic("mpi: phantom receive matched a message with a real payload")
 		}
 	case r.fbuf != nil:
@@ -88,7 +87,8 @@ func (c *Comm) Wait(r *Request) int {
 	}
 	r.bytes = m.bytes
 	r.done = true
-	c.record("Wait", m.bytes, start)
+	m.release()
+	c.record("Wait", r.bytes, start)
 	return r.n
 }
 

@@ -1,0 +1,192 @@
+// Package perfbench is the benchmark-regression harness of the
+// reproduction: a fixed suite of runtime microbenchmarks (point-to-point
+// throughput, allreduce, world churn) plus wrappers around the figure
+// regenerations of bench_test.go, measured with testing.Benchmark and
+// gated by committed allocation budgets via testing.AllocsPerRun.
+//
+// `make bench` runs the full suite and refreshes BENCH_PR3.json (ns/op,
+// B/op, allocs/op, with the pre-optimisation baseline carried along as
+// "before"); `make verify` runs the cheap smoke mode, which only checks
+// the allocation budgets, so an accidental allocation regression on the
+// message hot path fails the gate before it lands.
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+)
+
+// Stats is one benchmark measurement.
+type Stats struct {
+	N           int     `json:"n"`             // iterations measured
+	NsPerOp     float64 `json:"ns_per_op"`     // wall nanoseconds per op
+	AllocsPerOp float64 `json:"allocs_per_op"` // heap allocations per op
+	BytesPerOp  float64 `json:"bytes_per_op"`  // heap bytes per op
+}
+
+// Entry is one benchmark's report line: the current measurement plus the
+// committed pre-optimisation baseline it is compared against.
+type Entry struct {
+	Name string `json:"name"`
+	// Before is the baseline measurement (the unpooled message plane),
+	// carried forward verbatim across refreshes.
+	Before *Stats `json:"before,omitempty"`
+	// After is the current measurement.
+	After *Stats `json:"after,omitempty"`
+	// AllocBudget is the committed allocs-per-run ceiling (0 = ungated).
+	AllocBudget float64 `json:"alloc_budget,omitempty"`
+	// AllocsPerRun is the testing.AllocsPerRun measurement the budget is
+	// checked against.
+	AllocsPerRun float64 `json:"allocs_per_run,omitempty"`
+}
+
+// Report is the on-disk BENCH_*.json envelope.
+type Report struct {
+	ModelVersion string  `json:"model_version"`
+	GoVersion    string  `json:"go_version"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Note         string  `json:"note,omitempty"`
+	Benchmarks   []Entry `json:"benchmarks"`
+}
+
+// Bench is one suite member: a single-iteration operation plus its
+// allocation budget.
+type Bench struct {
+	Name string
+	// Op runs one iteration; it must be deterministic and panic on error.
+	Op func()
+	// AllocBudget caps testing.AllocsPerRun(runs, Op); 0 exempts the
+	// benchmark from the allocation gate (figure regenerations, whose
+	// allocation count is dominated by reporting, not the message plane).
+	AllocBudget float64
+}
+
+// Measure times b.Op with the standard benchmark machinery.
+func Measure(b Bench) Stats {
+	r := testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			b.Op()
+		}
+	})
+	return Stats{
+		N:           r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: float64(r.AllocsPerOp()),
+		BytesPerOp:  float64(r.AllocedBytesPerOp()),
+	}
+}
+
+// AllocsPerRun measures b.Op's allocations per run (averaged over runs
+// invocations after one warmup, GOMAXPROCS pinned to 1 by the testing
+// package).
+func AllocsPerRun(b Bench, runs int) float64 {
+	if runs < 1 {
+		runs = 1
+	}
+	return testing.AllocsPerRun(runs, b.Op)
+}
+
+// BudgetViolation describes one benchmark exceeding its allocation budget.
+type BudgetViolation struct {
+	Name     string
+	Measured float64
+	Budget   float64
+}
+
+// Error formats the violation.
+func (v BudgetViolation) Error() string {
+	return fmt.Sprintf("perfbench: %s allocated %.0f/run, budget %.0f", v.Name, v.Measured, v.Budget)
+}
+
+// CheckBudgets measures every budgeted benchmark with testing.AllocsPerRun
+// and returns the measurements and any violations.
+func CheckBudgets(benches []Bench, runs int) (map[string]float64, []BudgetViolation) {
+	measured := make(map[string]float64)
+	var violations []BudgetViolation
+	for _, b := range benches {
+		if b.AllocBudget <= 0 {
+			continue
+		}
+		got := AllocsPerRun(b, runs)
+		measured[b.Name] = got
+		if got > b.AllocBudget {
+			violations = append(violations, BudgetViolation{Name: b.Name, Measured: got, Budget: b.AllocBudget})
+		}
+	}
+	return measured, violations
+}
+
+// NewReport assembles a report from measurements, carrying each entry's
+// baseline over from prev: an entry's Before is the previous Before when
+// set (the original unpooled baseline survives refreshes), otherwise the
+// previous After (the first refresh after a baseline-only run).
+func NewReport(modelVersion string, entries []Entry, prev *Report) *Report {
+	var base map[string]Entry
+	if prev != nil {
+		base = make(map[string]Entry, len(prev.Benchmarks))
+		for _, e := range prev.Benchmarks {
+			base[e.Name] = e
+		}
+	}
+	for i := range entries {
+		if p, ok := base[entries[i].Name]; ok {
+			switch {
+			case p.Before != nil:
+				entries[i].Before = p.Before
+			case p.After != nil:
+				entries[i].Before = p.After
+			}
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return &Report{
+		ModelVersion: modelVersion,
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Benchmarks:   entries,
+	}
+}
+
+// ReadReport loads a report; a missing file returns (nil, nil) so the
+// first run needs no baseline.
+func ReadReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("perfbench: read %s: %w", path, err)
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("perfbench: parse %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// WriteReport stores the report as deterministic, human-diffable JSON.
+func WriteReport(path string, r *Report) error {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("perfbench: encode report: %w", err)
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// Speedup returns the before/after ratio for the given field accessor
+// (>1 means the current code is better), or 0 when no baseline exists.
+func (e Entry) Speedup(field func(Stats) float64) float64 {
+	if e.Before == nil || e.After == nil {
+		return 0
+	}
+	a := field(*e.After)
+	if a == 0 {
+		return 0
+	}
+	return field(*e.Before) / a
+}

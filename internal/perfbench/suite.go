@@ -1,0 +1,170 @@
+package perfbench
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/mpi"
+	"repro/internal/osu"
+	"repro/internal/platform"
+)
+
+// Suite dimensions. The message counts are large enough that per-message
+// costs dominate the fixed per-run cost (world construction, rank
+// goroutines), so allocs/op tracks the message plane, not the harness.
+const (
+	p2pMsgs     = 256  // messages per P2P op
+	p2pLen      = 1024 // float64 elements per message (8 KiB)
+	allredIters = 32   // allreduces per op
+	allredLen   = 256  // float64 elements per allreduce
+	allredRanks = 8
+	churnRanks  = 64
+)
+
+// Allocation budgets (allocs per run, measured by testing.AllocsPerRun).
+// Committed with ~2x headroom over the pooled message plane's steady
+// state; the pre-pooling code exceeds every one of them by an order of
+// magnitude, so a regression that reintroduces per-message allocation
+// fails `make verify`.
+const (
+	budgetP2P       = 64   // measured 26 pooled; 793 pre-pooling
+	budgetAllreduce = 160  // measured 63 pooled; 2623 pre-pooling
+	budgetChurn     = 3200 // measured ~1620: world construction dominates
+	budgetOSU       = 128  // measured 46 pooled; 240 pre-pooling
+)
+
+// world builds an np-rank world on p, one rank per node when spread is
+// set (the OSU two-node configuration).
+func world(p *platform.Platform, np int, spread bool) *mpi.World {
+	spec := cluster.Spec{NP: np}
+	if spread {
+		spec.Nodes = np
+		spec.Policy = cluster.Spread
+	}
+	pl, err := cluster.Place(p, spec)
+	if err != nil {
+		panic(fmt.Sprintf("perfbench: place: %v", err))
+	}
+	w, err := mpi.NewWorld(p, pl)
+	if err != nil {
+		panic(fmt.Sprintf("perfbench: world: %v", err))
+	}
+	return w
+}
+
+// Suite returns the benchmark suite. Worlds are created lazily and reused
+// across iterations (a World is reusable: each Run builds fresh per-rank
+// state), so steady-state per-message cost is what gets measured.
+func Suite() []Bench {
+	var (
+		once     sync.Once
+		p2pW     *mpi.World
+		allredW  *mpi.World
+		payload  []float64
+		allredIn []float64
+	)
+	setup := func() {
+		once.Do(func() {
+			p2pW = world(platform.Vayu(), 2, true)
+			allredW = world(platform.Vayu(), allredRanks, false)
+			payload = make([]float64, p2pLen)
+			for i := range payload {
+				payload[i] = float64(i)
+			}
+			allredIn = make([]float64, allredLen)
+		})
+	}
+
+	fig4 := func(kernel string) func() {
+		return func() {
+			if _, err := experiments.Fig4NPBScaling(kernel); err != nil {
+				panic(fmt.Sprintf("perfbench: fig4 %s: %v", kernel, err))
+			}
+		}
+	}
+
+	return []Bench{
+		{
+			// Point-to-point throughput: how fast the runtime moves real
+			// payload bytes between two ranks on two nodes.
+			Name:        "mpi/p2p-throughput",
+			AllocBudget: budgetP2P,
+			Op: func() {
+				setup()
+				_, err := p2pW.Run(func(c *mpi.Comm) error {
+					if c.Rank() == 0 {
+						for i := 0; i < p2pMsgs; i++ {
+							c.Send(1, 0, payload)
+						}
+						return nil
+					}
+					buf := make([]float64, p2pLen)
+					for i := 0; i < p2pMsgs; i++ {
+						c.Recv(0, 0, buf)
+					}
+					return nil
+				})
+				if err != nil {
+					panic(err)
+				}
+			},
+		},
+		{
+			// Recursive-doubling allreduce over 8 ranks: the reduction
+			// scratch and round-trip messages of the KSp-style hot path.
+			Name:        "mpi/allreduce",
+			AllocBudget: budgetAllreduce,
+			Op: func() {
+				setup()
+				_, err := allredW.Run(func(c *mpi.Comm) error {
+					data := append([]float64(nil), allredIn...)
+					for i := 0; i < allredIters; i++ {
+						data[0] = float64(c.Rank() + i)
+						c.Allreduce(mpi.Sum, data)
+					}
+					return nil
+				})
+				if err != nil {
+					panic(err)
+				}
+			},
+		},
+		{
+			// World churn: build, run and tear down a 64-rank world — the
+			// scheduler's steady state when artefact jobs regenerate in
+			// parallel. Dominated by inbox/world construction and the
+			// collective envelope traffic of a barrier plus allreduce.
+			Name:        "mpi/world-churn-64",
+			AllocBudget: budgetChurn,
+			Op: func() {
+				_, err := mpi.RunOn(platform.EC2(), churnRanks, func(c *mpi.Comm) error {
+					c.Barrier()
+					c.AllreduceN(8)
+					return nil
+				})
+				if err != nil {
+					panic(err)
+				}
+			},
+		},
+		{
+			// The simulator's own speed on the OSU latency microbenchmark,
+			// mirroring bench_test.go's BenchmarkOSURawRuntime.
+			Name:        "osu/latency-sim",
+			AllocBudget: budgetOSU,
+			Op: func() {
+				if _, err := osu.Latency(platform.Vayu(), []int{8}); err != nil {
+					panic(err)
+				}
+			},
+		},
+		// Figure regenerations, mirroring bench_test.go's
+		// BenchmarkFig4NPBScaling panels: end-to-end wall-clock cost of the
+		// artefacts whose sweeps dominate `make results`.
+		{Name: "fig4/ep", Op: fig4("ep")},
+		{Name: "fig4/cg", Op: fig4("cg")},
+		{Name: "fig4/ft", Op: fig4("ft")},
+	}
+}
