@@ -3,7 +3,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race fmt vet fuzz bench bench-smoke verify results clean
+.PHONY: all build test race fmt vet fuzz bench bench-smoke obs-smoke verify results clean
 
 all: build
 
@@ -44,10 +44,36 @@ bench: build
 bench-smoke: build
 	$(GO) run ./cmd/bench -smoke
 
+# Observability gate: run the smoke sweep cold at -j 1 and -j 8 with
+# manifests on, validate every manifest (per-artefact and top-level)
+# with cmd/inspect, and assert the two worker counts produced
+# byte-identical artefacts AND metric snapshots — scheduling must not
+# leak into the observability plane either.
+obs-smoke: build
+	@rm -rf .obs-smoke && mkdir -p .obs-smoke/j1 .obs-smoke/j8
+	$(GO) run ./cmd/repro -sweep smoke -nocache -j 1 \
+		-out .obs-smoke/j1 -manifest .obs-smoke/j1/run.manifest.json >/dev/null
+	$(GO) run ./cmd/repro -sweep smoke -nocache -j 8 \
+		-out .obs-smoke/j8 -manifest .obs-smoke/j8/run.manifest.json >/dev/null
+	$(GO) run ./cmd/inspect manifest .obs-smoke/j1/*.manifest.json >/dev/null
+	$(GO) run ./cmd/inspect manifest .obs-smoke/j8/*.manifest.json >/dev/null
+	@for m in .obs-smoke/j1/*.manifest.json; do \
+		case $$m in */run.manifest.json) continue;; esac; \
+		cmp "$$m" ".obs-smoke/j8/$${m##*/}" \
+			|| { echo "obs-smoke: $${m##*/} differs between -j 1 and -j 8"; exit 1; }; \
+	done
+	@for f in .obs-smoke/j1/*.csv .obs-smoke/j1/*.txt; do \
+		[ -e "$$f" ] || continue; \
+		cmp "$$f" ".obs-smoke/j8/$${f##*/}" \
+			|| { echo "obs-smoke: $${f##*/} differs between -j 1 and -j 8"; exit 1; }; \
+	done
+	@rm -rf .obs-smoke
+	@echo "obs-smoke: manifests valid and deterministic across -j 1 / -j 8"
+
 # The full local gate: format, static checks, build, tests, race tests,
-# a short fuzz pass, and the allocation-budget smoke. Mirrors what CI
-# would run.
-verify: fmt vet build test race fuzz bench-smoke
+# a short fuzz pass, the allocation-budget smoke, and the observability
+# smoke. Mirrors what CI would run.
+verify: fmt vet build test race fuzz bench-smoke obs-smoke
 	@echo "verify: all gates passed"
 
 # Regenerate the committed seed artefacts (full sweep, seed 0).
@@ -55,4 +81,4 @@ results: build
 	$(GO) run ./cmd/repro -out results -j 4
 
 clean:
-	rm -rf results/.cache
+	rm -rf results/.cache .obs-smoke

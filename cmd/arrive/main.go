@@ -12,16 +12,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"time"
 
 	"repro/internal/arrive"
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
 func main() {
 	np := flag.Int("np", 32, "process count to profile and predict at")
+	manifest := flag.String("manifest", "", "write a run-manifest JSON to this file")
 	flag.Parse()
+	start := time.Now()
 
 	src := platform.Vayu()
 	fmt.Printf("profiling MetUM at np=%d on %s...\n", *np, src.Name)
@@ -40,6 +46,16 @@ func main() {
 	fmt.Println("predicted runtimes:")
 	for _, pred := range w.Recommend(platform.All()) {
 		fmt.Println("  " + pred.String())
+	}
+
+	if err := obs.WriteManifest(*manifest, &obs.Manifest{
+		Schema: obs.ManifestSchema, Binary: "arrive",
+		ModelVersion: core.ModelVersion, Platform: src.Name,
+		Knobs:          map[string]string{"np": strconv.Itoa(*np)},
+		VirtualSeconds: prof.Time(),
+		WallSeconds:    time.Since(start).Seconds(),
+	}); err != nil {
+		fatal(err)
 	}
 }
 

@@ -16,8 +16,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/perfbench"
 )
 
@@ -26,7 +29,22 @@ func main() {
 	baseline := flag.String("baseline", "", "carry before-numbers from this prior report")
 	smoke := flag.Bool("smoke", false, "allocation-budget check only (1 run each, no timing)")
 	runs := flag.Int("runs", 3, "runs per testing.AllocsPerRun measurement")
+	manifest := flag.String("manifest", "", "write a run-manifest JSON to this file")
 	flag.Parse()
+	start := time.Now()
+
+	writeManifest := func() {
+		if err := obs.WriteManifest(*manifest, &obs.Manifest{
+			Schema: obs.ManifestSchema, Binary: "bench",
+			ModelVersion: core.ModelVersion,
+			Knobs: map[string]string{
+				"smoke": strconv.FormatBool(*smoke), "runs": strconv.Itoa(*runs),
+			},
+			WallSeconds: time.Since(start).Seconds(),
+		}); err != nil {
+			fatal(err)
+		}
+	}
 
 	suite := perfbench.Suite()
 
@@ -38,6 +56,7 @@ func main() {
 			}
 			fmt.Printf("%-24s %8.0f allocs/run (budget %.0f)\n", b.Name, measured[b.Name], b.AllocBudget)
 		}
+		writeManifest()
 		fail(violations)
 		fmt.Println("bench: all allocation budgets respected")
 		return
@@ -75,6 +94,7 @@ func main() {
 		}
 		fmt.Printf("bench: report written to %s\n", *out)
 	}
+	writeManifest()
 	fail(violations)
 }
 

@@ -3,28 +3,35 @@
 //
 // Usage:
 //
-//	chaste -platform dcc -np 32
+//	chaste -platform dcc -np 32 [-trace t.json] [-manifest m.json]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"time"
 
 	"repro/internal/apps/chaste"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/platform"
+	"repro/internal/trace"
 )
 
 func main() {
 	platName := flag.String("platform", "vayu", "platform: vayu, dcc or ec2")
 	np := flag.Int("np", 32, "process count")
 	steps := flag.Int("steps", 0, "override timestep count (0 = paper's 250)")
+	manifest := flag.String("manifest", "", "write a run-manifest JSON to this file")
 	faults := flag.String("faults", "",
 		"fault injection, e.g. mtbf=600,ckpt=25 (keys: mtbf, straggle, slow, degrade, dlat, dbw, horizon, ckpt, seed)")
+	sink := trace.AddFlag()
 	flag.Parse()
+	start := time.Now()
 
 	p, err := platform.ByName(*platName)
 	if err != nil {
@@ -39,11 +46,14 @@ func main() {
 		cfg.Steps = *steps
 	}
 	cfg.CheckpointEvery = fp.CheckpointEvery
+	reg := obs.NewRegistry()
 	spec := core.RunSpec{
 		Platform: p, NP: *np, MemPerRank: cfg.MemPerRank(*np),
+		ExtraTracer: sink.Tracer(*np), Metrics: reg,
 	}
+	var plan *fault.Plan
 	if fp.Enabled() {
-		plan, err := fault.Generate(fp.Spec, p.Name, "chaste", *np, p.Nodes, fp.Seed)
+		plan, err = fault.Generate(fp.Spec, p.Name, "chaste", *np, p.Nodes, fp.Seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -72,12 +82,35 @@ func main() {
 	fmt.Printf("  KSp     %8.1f s\n", stats.KSp)
 	fmt.Printf("  output  %8.1f s\n", stats.Output)
 	fmt.Printf("  %%comm   %8.1f\n", out.Profile.CommPercent())
+	fmt.Printf("  %%wait   %8.1f (of comm)\n", out.Profile.WaitPercent())
 	if rs := out.Resilience; rs != nil && (rs.Restarts > 0 || rs.Checkpoints > 0) {
 		fmt.Printf("  faults  %d restart(s), %d checkpoint(s), %.1f s lost, %.1f s restart cost\n",
 			rs.Restarts, rs.Checkpoints, rs.LostWork, rs.RestartOverhead)
 	}
 	fmt.Println()
 	fmt.Print(out.Profile.String())
+
+	if err := sink.Flush(); err != nil {
+		fatal(err)
+	}
+	m := &obs.Manifest{
+		Schema: obs.ManifestSchema, Binary: "chaste",
+		ModelVersion: core.ModelVersion, Platform: p.Name,
+		Knobs: map[string]string{
+			"np":    strconv.Itoa(*np),
+			"steps": strconv.Itoa(cfg.Steps),
+		},
+		FaultSpec:      *faults,
+		VirtualSeconds: out.Result.Time,
+		WallSeconds:    time.Since(start).Seconds(),
+		Metrics:        reg.Snapshot(true),
+	}
+	if plan != nil {
+		m.FaultDigest = plan.Digest()
+	}
+	if err := obs.WriteManifest(*manifest, m); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

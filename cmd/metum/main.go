@@ -3,18 +3,21 @@
 //
 // Usage:
 //
-//	metum -platform ec2 -np 32 -nodes 4
+//	metum -platform ec2 -np 32 -nodes 4 [-trace t.json] [-manifest m.json]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"time"
 
 	"repro/internal/apps/metum"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/report"
 	"repro/internal/trace"
@@ -26,10 +29,12 @@ func main() {
 	nodes := flag.Int("nodes", 0, "node count (0 = memory-driven minimum)")
 	steps := flag.Int("steps", 0, "override timestep count (0 = paper's 18)")
 	breakdown := flag.Bool("breakdown", false, "print the per-process ATM_STEP breakdown (Fig 7 style)")
-	traceOut := flag.String("trace", "", "write a Chrome trace-event timeline to this file")
+	manifest := flag.String("manifest", "", "write a run-manifest JSON to this file")
 	faults := flag.String("faults", "",
 		"fault injection, e.g. mtbf=600,ckpt=3 (keys: mtbf, straggle, slow, degrade, dlat, dbw, horizon, ckpt, seed)")
+	sink := trace.AddFlag()
 	flag.Parse()
+	start := time.Now()
 
 	p, err := platform.ByName(*platName)
 	if err != nil {
@@ -47,16 +52,14 @@ func main() {
 		}
 	}
 	cfg.CheckpointEvery = fp.CheckpointEvery
-	var rec *trace.Recorder
-	if *traceOut != "" {
-		rec = trace.New(*np)
-	}
+	reg := obs.NewRegistry()
 	spec := core.RunSpec{
 		Platform: p, NP: *np, Nodes: *nodes, MemPerRank: cfg.MemPerRank(*np),
-		ExtraTracer: tracerOrNil(rec),
+		ExtraTracer: sink.Tracer(*np), Metrics: reg,
 	}
+	var plan *fault.Plan
 	if fp.Enabled() {
-		plan, err := fault.Generate(fp.Spec, p.Name, "metum", *np, p.Nodes, fp.Seed)
+		plan, err = fault.Generate(fp.Spec, p.Name, "metum", *np, p.Nodes, fp.Seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -83,6 +86,7 @@ func main() {
 	fmt.Printf("  warmed  %8.1f s\n", stats.Warmed)
 	fmt.Printf("  I/O     %8.1f s\n", stats.IO)
 	fmt.Printf("  %%comm   %8.1f\n", out.Profile.CommPercent())
+	fmt.Printf("  %%wait   %8.1f (of comm)\n", out.Profile.WaitPercent())
 	fmt.Printf("  %%imbal  %8.1f\n", out.Profile.LoadImbalancePercent())
 	if rs := out.Resilience; rs != nil && (rs.Restarts > 0 || rs.Checkpoints > 0) {
 		fmt.Printf("  faults  %d restart(s), %d checkpoint(s), %.1f s lost, %.1f s restart cost\n",
@@ -97,25 +101,28 @@ func main() {
 		fmt.Print(report.BarBreakdown("ATM_STEP time by process", comp, comm, 60))
 	}
 
-	if rec != nil {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		if err := rec.WriteChrome(f); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("\nwrote %d timeline events to %s (open in chrome://tracing)\n", rec.Count(), *traceOut)
+	if err := sink.Flush(); err != nil {
+		fatal(err)
 	}
-}
-
-// tracerOrNil avoids a typed-nil interface when tracing is off.
-func tracerOrNil(rec *trace.Recorder) mpi.Tracer {
-	if rec == nil {
-		return nil
+	m := &obs.Manifest{
+		Schema: obs.ManifestSchema, Binary: "metum",
+		ModelVersion: core.ModelVersion, Platform: p.Name,
+		Knobs: map[string]string{
+			"np":    strconv.Itoa(*np),
+			"nodes": strconv.Itoa(*nodes),
+			"steps": strconv.Itoa(cfg.Steps),
+		},
+		FaultSpec:      *faults,
+		VirtualSeconds: out.Result.Time,
+		WallSeconds:    time.Since(start).Seconds(),
+		Metrics:        reg.Snapshot(true),
 	}
-	return rec
+	if plan != nil {
+		m.FaultDigest = plan.Digest()
+	}
+	if err := obs.WriteManifest(*manifest, m); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	npb -bench cg -class B -np 16,32,64 -platform dcc -mode skeleton [-j N] [-cache DIR]
-//	npb -bench ep -class S -np 4 -platform vayu -mode full
+//	npb -bench ep -class S -np 4 -platform vayu -mode full [-trace t.json] [-manifest m.json]
 package main
 
 import (
@@ -18,13 +18,16 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/npb"
 	"repro/internal/npb/suite"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -36,7 +39,10 @@ func main() {
 	seed := flag.Uint64("seed", 0, "jitter seed (repetition index)")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "number of sweep jobs to run concurrently")
 	cacheDir := flag.String("cache", "", "result cache directory (empty: no cache)")
+	manifest := flag.String("manifest", "", "write a run-manifest JSON to this file")
+	sink := trace.AddFlag()
 	flag.Parse()
+	start := time.Now()
 
 	p, err := platform.ByName(*platName)
 	if err != nil {
@@ -72,20 +78,33 @@ func main() {
 		}
 	}
 
+	cache := openCache(*cacheDir)
+	if sink.Active() {
+		// Tracing needs live, deterministically ordered runs: one worker,
+		// no cache, and no cache keys so the recording always happens.
+		*workers = 1
+		cache = nil
+	}
+	reg := obs.NewRegistry()
+
 	var jobs []sched.Job
 	for _, np := range nps {
 		np := np
 		id := fmt.Sprintf("npb-%s-%s-%d", *bench, class, np)
-		jobs = append(jobs, sched.Job{
-			ID: id,
-			Key: &sched.Key{
+		var key *sched.Key
+		if !sink.Active() {
+			key = &sched.Key{
 				Experiment:   "npb-" + *mode + "-" + *bench,
 				Params:       fmt.Sprintf("class=%s,np=%d,platform=%s", class, np, p.Name),
 				Seed:         *seed,
 				ModelVersion: core.ModelVersion,
-			},
+			}
+		}
+		jobs = append(jobs, sched.Job{
+			ID:  id,
+			Key: key,
 			Run: func(ctx *sched.Ctx) (map[string][]byte, error) {
-				text, err := kernelRun(p, *bench, *mode, class, np, *seed, ctx)
+				text, err := kernelRun(p, *bench, *mode, class, np, *seed, ctx, sink.Tracer(np), reg)
 				if err != nil {
 					return nil, err
 				}
@@ -96,12 +115,15 @@ func main() {
 
 	results, runErr := sched.Run(jobs, sched.Options{
 		Workers: *workers,
-		Cache:   openCache(*cacheDir),
+		Cache:   cache,
+		Metrics: reg,
 	})
 	if results == nil {
 		fatal(runErr)
 	}
+	var virtual float64
 	for _, r := range results {
+		virtual += r.Virtual
 		if r.Status != sched.Done && r.Status != sched.Cached {
 			continue
 		}
@@ -112,12 +134,29 @@ func main() {
 	if runErr != nil {
 		fatal(runErr)
 	}
+	if err := sink.Flush(); err != nil {
+		fatal(err)
+	}
+	if err := obs.WriteManifest(*manifest, &obs.Manifest{
+		Schema: obs.ManifestSchema, Binary: "npb",
+		ModelVersion: core.ModelVersion, Platform: p.Name, Seed: *seed,
+		Knobs: map[string]string{
+			"bench": *bench, "class": string(class), "np": *npList, "mode": *mode,
+		},
+		VirtualSeconds: virtual,
+		WallSeconds:    time.Since(start).Seconds(),
+		Metrics:        reg.Snapshot(true),
+	}); err != nil {
+		fatal(err)
+	}
 }
 
 // kernelRun executes one (kernel, class, np) point and renders its
 // summary line(s).
-func kernelRun(p *platform.Platform, bench, mode string, class npb.Class, np int, seed uint64, ctx *sched.Ctx) (string, error) {
-	spec := core.RunSpec{Platform: p, NP: np, Seed: seed, Meter: ctx.Meter()}
+func kernelRun(p *platform.Platform, bench, mode string, class npb.Class, np int, seed uint64,
+	ctx *sched.Ctx, tracer mpi.Tracer, reg *obs.Registry) (string, error) {
+	spec := core.RunSpec{Platform: p, NP: np, Seed: seed, Meter: ctx.Meter(),
+		ExtraTracer: tracer, Metrics: reg}
 	var sb strings.Builder
 	switch mode {
 	case "skeleton":

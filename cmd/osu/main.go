@@ -8,7 +8,7 @@
 // Usage:
 //
 //	osu -platform vayu|dcc|ec2|all -bench bw|latency|all [-seed N]
-//	    [-j N] [-cache DIR]
+//	    [-j N] [-cache DIR] [-trace t.json] [-manifest m.json]
 package main
 
 import (
@@ -17,11 +17,14 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/osu"
 	"repro/internal/platform"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -30,7 +33,10 @@ func main() {
 	seed := flag.Uint64("seed", 0, "jitter seed (repetition index)")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "number of benchmark jobs to run concurrently")
 	cacheDir := flag.String("cache", "", "result cache directory (empty: no cache)")
+	manifest := flag.String("manifest", "", "write a run-manifest JSON to this file")
+	sink := trace.AddFlag()
 	flag.Parse()
+	start := time.Now()
 
 	platforms, err := expandPlatforms(*platName)
 	if err != nil {
@@ -40,22 +46,38 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	cache := openCache(*cacheDir)
+	if sink.Active() {
+		// Tracing needs live, deterministically ordered runs: one worker,
+		// no cache, and no cache keys so the recording always happens.
+		*workers = 1
+		cache = nil
+	}
+	reg := obs.NewRegistry()
 
 	var jobs []sched.Job
+	var virtual float64
 	for _, p := range platforms {
 		for _, b := range benches {
 			p, b := p, b
 			id := fmt.Sprintf("osu-%s-%s", b, p.Name)
-			jobs = append(jobs, sched.Job{
-				ID: id,
-				Key: &sched.Key{
+			var key *sched.Key
+			if !sink.Active() {
+				key = &sched.Key{
 					Experiment:   "osu-" + b,
 					Params:       fmt.Sprintf("platform=%s,sizes=default", p.Name),
 					Seed:         *seed,
 					ModelVersion: core.ModelVersion,
-				},
+				}
+			}
+			jobs = append(jobs, sched.Job{
+				ID:  id,
+				Key: key,
 				Run: func(ctx *sched.Ctx) (map[string][]byte, error) {
-					text, err := curve(p, b, *seed)
+					text, err := curve(p, b, osu.Opts{
+						Seed: *seed, Tracer: sink.Tracer(2), Metrics: reg,
+						Meter: ctx.Meter(),
+					})
 					if err != nil {
 						return nil, err
 					}
@@ -67,12 +89,14 @@ func main() {
 
 	results, runErr := sched.Run(jobs, sched.Options{
 		Workers: *workers,
-		Cache:   openCache(*cacheDir),
+		Cache:   cache,
+		Metrics: reg,
 	})
 	if results == nil {
 		fatal(runErr)
 	}
 	for _, r := range results {
+		virtual += r.Virtual
 		if r.Status != sched.Done && r.Status != sched.Cached {
 			continue
 		}
@@ -83,15 +107,28 @@ func main() {
 	if runErr != nil {
 		fatal(runErr)
 	}
+	if err := sink.Flush(); err != nil {
+		fatal(err)
+	}
+	if err := obs.WriteManifest(*manifest, &obs.Manifest{
+		Schema: obs.ManifestSchema, Binary: "osu",
+		ModelVersion: core.ModelVersion, Platform: *platName, Seed: *seed,
+		Knobs:          map[string]string{"bench": *bench},
+		VirtualSeconds: virtual,
+		WallSeconds:    time.Since(start).Seconds(),
+		Metrics:        reg.Snapshot(true),
+	}); err != nil {
+		fatal(err)
+	}
 }
 
 // curve renders one benchmark curve on one platform.
-func curve(p *platform.Platform, bench string, seed uint64) (string, error) {
+func curve(p *platform.Platform, bench string, o osu.Opts) (string, error) {
 	sizes := osu.DefaultSizes()
 	var sb strings.Builder
 	switch bench {
 	case "bw":
-		pts, err := osu.BandwidthSeeded(p, sizes, seed)
+		pts, err := osu.BandwidthOpts(p, sizes, o)
 		if err != nil {
 			return "", err
 		}
@@ -100,7 +137,7 @@ func curve(p *platform.Platform, bench string, seed uint64) (string, error) {
 			fmt.Fprintf(&sb, "  %10d %14.2f\n", pt.Bytes, pt.Value)
 		}
 	case "latency":
-		pts, err := osu.LatencySeeded(p, sizes, seed)
+		pts, err := osu.LatencyOpts(p, sizes, o)
 		if err != nil {
 			return "", err
 		}

@@ -28,11 +28,16 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fault"
+	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -46,7 +51,12 @@ func main() {
 	cacheDir := flag.String("cache", "", "result cache directory (default <out>/.cache)")
 	faults := flag.String("faults", "",
 		"inject faults into every kernel/application run, e.g. mtbf=600,ckpt=3 (keys: mtbf, straggle, slow, degrade, dlat, dbw, horizon, ckpt, seed); part of the cache key")
+	sweepName := flag.String("sweep", "",
+		"explicit sweep resolution: full, quick or smoke (overrides -quick)")
+	manifest := flag.String("manifest", "", "write a top-level run-manifest JSON to this file")
+	sink := trace.AddFlag()
 	flag.Parse()
+	start := time.Now()
 
 	cache := openCache(*out, *cacheDir, *nocache)
 
@@ -63,11 +73,28 @@ func main() {
 	if *quick {
 		sweep = experiments.SweepQuick
 	}
+	if *sweepName != "" {
+		var err error
+		if sweep, err = experiments.ParseSweep(*sweepName); err != nil {
+			fatal(err)
+		}
+	}
 	fp, err := fault.ParseParams(*faults)
 	if err != nil {
 		fatal(err)
 	}
-	jobs, err := experiments.JobsFaults(sweep, *seed, fp, ids)
+	var tracer func(np int) mpi.Tracer
+	if sink.Active() {
+		// A timeline is only meaningful for one live, sequentially executed
+		// artefact: require -only with a single ID and force -j 1 (traced
+		// jobs already bypass the cache).
+		if len(ids) != 1 {
+			fatal(fmt.Errorf("-trace needs -only with exactly one artefact"))
+		}
+		*workers = 1
+		tracer = sink.Tracer
+	}
+	jobs, err := experiments.JobsTraced(sweep, *seed, fp, ids, tracer)
 	if err != nil {
 		fatal(err)
 	}
@@ -75,10 +102,12 @@ func main() {
 		fatal(err)
 	}
 
+	reg := obs.NewRegistry()
 	results, runErr := sched.Run(jobs, sched.Options{
 		Workers: *workers,
 		Cache:   cache,
 		OnEvent: progress,
+		Metrics: reg,
 	})
 	if results == nil {
 		fatal(runErr)
@@ -104,6 +133,46 @@ func main() {
 	if runErr != nil {
 		fatal(runErr)
 	}
+	if err := sink.Flush(); err != nil {
+		fatal(err)
+	}
+	if err := writeRunManifest(*manifest, sweep, *seed, *only, *faults, results, reg, start); err != nil {
+		fatal(err)
+	}
+}
+
+// writeRunManifest records the whole invocation: knobs, total virtual
+// time, scheduler metrics (including volatile wall-clock series — this
+// manifest describes one interactive run, not a golden artefact) and the
+// hashes of every produced file. The per-artefact manifests written
+// alongside the outputs stay the deterministic provenance records.
+func writeRunManifest(path string, sweep experiments.Sweep, seed uint64,
+	only, faults string, results []sched.Result, reg *obs.Registry, start time.Time) error {
+	if path == "" {
+		return nil
+	}
+	files := map[string][]byte{}
+	var virtual float64
+	for _, r := range results {
+		virtual += r.Virtual
+		for name, data := range r.Files {
+			files[name] = data
+		}
+	}
+	knobs := map[string]string{"sweep": string(sweep)}
+	if only != "" {
+		knobs["only"] = only
+	}
+	return obs.WriteManifest(path, &obs.Manifest{
+		Schema: obs.ManifestSchema, Binary: "repro",
+		ModelVersion: core.ModelVersion, Seed: seed,
+		Knobs:          knobs,
+		FaultSpec:      faults,
+		VirtualSeconds: virtual,
+		WallSeconds:    time.Since(start).Seconds(),
+		Metrics:        reg.Snapshot(true),
+		Artefacts:      obs.HashArtefacts(files),
+	})
 }
 
 // openCache resolves the cache flags; nil disables caching.

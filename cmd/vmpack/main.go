@@ -12,14 +12,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/hpcenv"
+	"repro/internal/obs"
 )
 
 func main() {
 	tuned := flag.Bool("tuned", false, "build with host-tuned flags (icc -xHost): fast but uses SSE4")
 	app := flag.String("app", "um", "application name to build and package")
+	manifest := flag.String("manifest", "", "write a run-manifest JSON to this file")
 	flag.Parse()
+	start := time.Now()
 
 	vayu := hpcenv.VayuHost()
 	for _, m := range hpcenv.StandardModules() {
@@ -56,6 +62,16 @@ func main() {
 		} else {
 			fmt.Printf("  %-16s ok\n", target.Name)
 		}
+	}
+	if err := obs.WriteManifest(*manifest, &obs.Manifest{
+		Schema: obs.ManifestSchema, Binary: "vmpack",
+		ModelVersion: core.ModelVersion,
+		Knobs: map[string]string{
+			"app": *app, "tuned": strconv.FormatBool(*tuned),
+		},
+		WallSeconds: time.Since(start).Seconds(),
+	}); err != nil {
+		fatal(err)
 	}
 	if !ok {
 		fmt.Println("\nhint: rebuild without -tuned for a portable binary")

@@ -13,6 +13,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/ipm"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sim"
 )
@@ -42,6 +43,9 @@ type RunSpec struct {
 	// executed under this spec (scheduler jobs use it for per-job
 	// virtual-time accounting).
 	Meter *sim.Meter
+	// Metrics, when set, receives the mpi runtime's counters (sends,
+	// payload bytes, wait states, pool traffic, fault/IO accounting).
+	Metrics *obs.Registry
 	// Faults, when set, injects the fault plan into the world. Without
 	// Resilient, a preemption fails the run with mpi.ErrRankFailed.
 	Faults *fault.Plan
@@ -109,6 +113,9 @@ func Execute(spec RunSpec, fn func(c *mpi.Comm) error) (*Outcome, error) {
 	}
 	if spec.Faults != nil {
 		opts = append(opts, mpi.WithFaults(spec.Faults))
+	}
+	if spec.Metrics != nil {
+		opts = append(opts, mpi.WithMetrics(spec.Metrics))
 	}
 	w, err := mpi.NewWorld(spec.Platform, pl, opts...)
 	if err != nil {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/npb"
 	"repro/internal/npb/suite"
+	"repro/internal/obs"
 	"repro/internal/osu"
 	"repro/internal/platform"
 	"repro/internal/report"
@@ -75,6 +76,22 @@ type Ctx struct {
 	// stay bit-identical to plain execution — the zero-fault identity
 	// test regenerates seed artefacts under this knob to prove it.
 	ForceResilient bool
+	// Metrics, when set, accumulates mpi runtime counters across every
+	// platform run of the job; the registry's stable snapshot lands in
+	// the artefact's run manifest.
+	Metrics *obs.Registry
+	// Tracer, when set, supplies an extra event observer for each
+	// platform run (cmd/repro -trace hands out trace recorders here); np
+	// is the run's rank count. A nil return attaches nothing.
+	Tracer func(np int) mpi.Tracer
+}
+
+// tracer resolves the Ctx's tracer hook for one run.
+func (x *Ctx) tracer(np int) mpi.Tracer {
+	if x.Tracer == nil {
+		return nil
+	}
+	return x.Tracer(np)
 }
 
 // sizes returns the OSU message-size sweep.
@@ -161,7 +178,8 @@ func (x *Ctx) runSkeleton(name string, p *platform.Platform, np int, class npb.C
 	if err != nil {
 		return 0, err
 	}
-	spec := core.RunSpec{Platform: p, NP: np, Seed: x.Seed, Meter: x.Meter}
+	spec := core.RunSpec{Platform: p, NP: np, Seed: x.Seed, Meter: x.Meter, Metrics: x.Metrics,
+		ExtraTracer: x.tracer(np)}
 	if err := x.applyFaults(&spec, p, name, np); err != nil {
 		return 0, err
 	}
@@ -174,9 +192,14 @@ func (x *Ctx) runSkeleton(name string, p *platform.Platform, np int, class npb.C
 	return out.Time(), nil
 }
 
+// osuOpts bundles the Ctx's seed and metrics for an OSU run.
+func (x *Ctx) osuOpts() osu.Opts {
+	return osu.Opts{Seed: x.Seed, Metrics: x.Metrics, Tracer: x.tracer(2), Meter: x.Meter}
+}
+
 // bandwidthAt returns the OSU bandwidth (MB/s) at one message size.
 func (x *Ctx) bandwidthAt(p *platform.Platform, size int) (float64, error) {
-	pts, err := osu.BandwidthSeeded(p, []int{size}, x.Seed)
+	pts, err := osu.BandwidthOpts(p, []int{size}, x.osuOpts())
 	if err != nil {
 		return 0, err
 	}
@@ -185,7 +208,7 @@ func (x *Ctx) bandwidthAt(p *platform.Platform, size int) (float64, error) {
 
 // latencyAt returns the OSU latency in microseconds at one message size.
 func (x *Ctx) latencyAt(p *platform.Platform, size int) (float64, error) {
-	pts, err := osu.LatencySeeded(p, []int{size}, x.Seed)
+	pts, err := osu.LatencyOpts(p, []int{size}, x.osuOpts())
 	if err != nil {
 		return 0, err
 	}
@@ -216,7 +239,7 @@ func (x *Ctx) Fig1OSUBandwidth(sizes []int) (*report.Figure, error) {
 		XLabel: "message bytes", YLabel: "MB/s", LogX: true, LogY: true,
 	}
 	for _, p := range platform.All() {
-		pts, err := osu.BandwidthSeeded(p, sizes, x.Seed)
+		pts, err := osu.BandwidthOpts(p, sizes, x.osuOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -239,7 +262,7 @@ func (x *Ctx) Fig2OSULatency(sizes []int) (*report.Figure, error) {
 		XLabel: "message bytes", YLabel: "us", LogX: true, LogY: true,
 	}
 	for _, p := range platform.All() {
-		pts, err := osu.LatencySeeded(p, sizes, x.Seed)
+		pts, err := osu.LatencyOpts(p, sizes, x.osuOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -340,7 +363,8 @@ func (x *Ctx) commAt(kernel string, p *platform.Platform, np int) (float64, erro
 	if err != nil {
 		return 0, err
 	}
-	spec := core.RunSpec{Platform: p, NP: np, Seed: x.Seed, Meter: x.Meter}
+	spec := core.RunSpec{Platform: p, NP: np, Seed: x.Seed, Meter: x.Meter, Metrics: x.Metrics,
+		ExtraTracer: x.tracer(np)}
 	if err := x.applyFaults(&spec, p, kernel, np); err != nil {
 		return 0, err
 	}
@@ -359,6 +383,7 @@ func (x *Ctx) chasteRun(p *platform.Platform, np int) (*chaste.Stats, *core.Outc
 	var stats *chaste.Stats
 	spec := core.RunSpec{
 		Platform: p, NP: np, MemPerRank: cfg.MemPerRank(np), Seed: x.Seed, Meter: x.Meter,
+		Metrics: x.Metrics, ExtraTracer: x.tracer(np),
 	}
 	if err := x.applyFaults(&spec, p, "chaste", np); err != nil {
 		return nil, nil, err
@@ -425,6 +450,7 @@ func (x *Ctx) umRun(p *platform.Platform, np, nodes int) (*metum.Stats, *core.Ou
 	var stats *metum.Stats
 	spec := core.RunSpec{
 		Platform: p, NP: np, Nodes: nodes, MemPerRank: cfg.MemPerRank(np), Seed: x.Seed, Meter: x.Meter,
+		Metrics: x.Metrics, ExtraTracer: x.tracer(np),
 	}
 	if err := x.applyFaults(&spec, p, "metum", np); err != nil {
 		return nil, nil, err

@@ -52,7 +52,7 @@ func (x *Ctx) e12Run(p *platform.Platform, np, ckptEvery int, plan *fault.Plan) 
 	cfg.CheckpointEvery = ckptEvery
 	out, err := core.Execute(core.RunSpec{
 		Platform: p, NP: np, Nodes: e12Nodes, MemPerRank: cfg.MemPerRank(np),
-		Seed: x.Seed, Meter: x.Meter,
+		Seed: x.Seed, Meter: x.Meter, Metrics: x.Metrics,
 		Faults: plan, Resilient: plan != nil, MaxRestarts: 40,
 	}, func(c *mpi.Comm) error {
 		_, err := metum.Run(c, cfg)

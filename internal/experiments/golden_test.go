@@ -2,8 +2,11 @@ package experiments
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -80,6 +83,59 @@ func TestGoldenDeterminismQuick(t *testing.T) {
 	seq := runArtefacts(t, SweepQuick, 1, ids)
 	par := runArtefacts(t, SweepQuick, 8, ids)
 	compareRuns(t, seq, par)
+}
+
+// TestArtefactManifests: every artefact job emits a sibling
+// <id>.manifest.json that validates, hashes exactly its sibling files,
+// and contains only deterministic content (no wall time, no volatile
+// metrics) — the provenance record make verify checks on results/.
+func TestArtefactManifests(t *testing.T) {
+	jobs, err := Jobs(SweepSmoke, 7, []string{"fig1", "fig7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := sched.Run(jobs, sched.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		data, ok := r.Files[r.ID+".manifest.json"]
+		if !ok {
+			t.Fatalf("%s: no sibling manifest in %d files", r.ID, len(r.Files))
+		}
+		m, err := obs.DecodeManifest(data)
+		if err != nil {
+			t.Fatalf("%s: %v", r.ID, err)
+		}
+		if m.Binary != "repro" || m.Artefact != r.ID || m.Seed != 7 ||
+			m.Knobs["sweep"] != string(SweepSmoke) {
+			t.Fatalf("%s: manifest header %+v", r.ID, m)
+		}
+		if m.WallSeconds != 0 {
+			t.Fatalf("%s: wall time %v leaked into a deterministic manifest", r.ID, m.WallSeconds)
+		}
+		if m.VirtualSeconds <= 0 {
+			t.Fatalf("%s: no virtual time recorded", r.ID)
+		}
+		for name, met := range m.Metrics {
+			if met.Volatile {
+				t.Fatalf("%s: volatile metric %s in stable snapshot", r.ID, name)
+			}
+		}
+		if len(m.Artefacts) != len(r.Files)-1 {
+			t.Fatalf("%s: manifest hashes %d files, want %d", r.ID, len(m.Artefacts), len(r.Files)-1)
+		}
+		for name, want := range m.Artefacts {
+			content, ok := r.Files[name]
+			if !ok {
+				t.Fatalf("%s: manifest lists unknown file %s", r.ID, name)
+			}
+			sum := sha256.Sum256(content)
+			if hex.EncodeToString(sum[:]) != want {
+				t.Fatalf("%s: hash mismatch for %s", r.ID, name)
+			}
+		}
+	}
 }
 
 // TestSelectUnknownArtefact pins the -only bugfix: an unknown key errors

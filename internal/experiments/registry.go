@@ -7,8 +7,11 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sched"
+	"repro/internal/sim"
 )
 
 // Kind classifies an artefact's rendering.
@@ -176,12 +179,17 @@ func Select(ids []string) ([]Artefact, error) {
 
 // cacheKey builds the content-address of one artefact computation. The
 // faults fragment is included only when fault injection is configured,
-// so pre-existing fault-free cache entries stay valid.
+// so pre-existing fault-free cache entries stay valid. The manifest
+// fragment versions the sibling manifest file each job now emits:
+// changing the manifest layout invalidates cached file sets (which
+// embed the manifest) without bumping ModelVersion, so the artefact
+// bytes themselves are unaffected.
 func cacheKey(id string, sweep Sweep, seed uint64, faults fault.Params) *sched.Key {
 	params := "sweep=" + string(sweep)
 	if f := faults.String(); f != "" {
 		params += ",faults={" + f + "}"
 	}
+	params += ",manifest=v1"
 	return &sched.Key{
 		Experiment:   id,
 		Params:       params,
@@ -203,6 +211,15 @@ func Jobs(sweep Sweep, seed uint64, ids []string) ([]sched.Job, error) {
 // resiliently (the two-rank OSU calibration microbenchmarks stay
 // fault-free). The params are part of each job's cache key.
 func JobsFaults(sweep Sweep, seed uint64, faults fault.Params, ids []string) ([]sched.Job, error) {
+	return JobsTraced(sweep, seed, faults, ids, nil)
+}
+
+// JobsTraced is JobsFaults with a per-run tracer hook (cmd/repro -trace).
+// Traced jobs carry no cache key: a timeline only exists when the
+// simulation actually runs, so tracing always forces a cold run without
+// touching the cache.
+func JobsTraced(sweep Sweep, seed uint64, faults fault.Params, ids []string,
+	tracer func(np int) mpi.Tracer) ([]sched.Job, error) {
 	if sweep == "" {
 		sweep = SweepFull
 	}
@@ -213,13 +230,53 @@ func JobsFaults(sweep Sweep, seed uint64, faults fault.Params, ids []string) ([]
 	jobs := make([]sched.Job, 0, len(sel))
 	for _, a := range sel {
 		a := a
+		key := cacheKey(a.ID, sweep, seed, faults)
+		if tracer != nil {
+			key = nil
+		}
 		jobs = append(jobs, sched.Job{
 			ID:  a.ID,
-			Key: cacheKey(a.ID, sweep, seed, faults),
+			Key: key,
 			Run: func(ctx *sched.Ctx) (map[string][]byte, error) {
-				return a.Gen(&Ctx{Sweep: sweep, Seed: seed, Faults: faults, Meter: ctx.Meter()})
+				reg := obs.NewRegistry()
+				x := &Ctx{Sweep: sweep, Seed: seed, Faults: faults,
+					Meter: ctx.Meter(), Metrics: reg, Tracer: tracer}
+				files, err := a.Gen(x)
+				if err != nil {
+					return nil, err
+				}
+				man, err := artefactManifest(a.ID, sweep, seed, faults, ctx.Meter(), reg, files)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s manifest: %w", a.ID, err)
+				}
+				files[a.ID+".manifest.json"] = man
+				return files, nil
 			},
 		})
 	}
 	return jobs, nil
+}
+
+// artefactManifest builds the provenance record emitted next to one
+// artefact's files. It is deterministic: the metrics snapshot excludes
+// volatile (scheduling-dependent) series, WallSeconds stays zero, and
+// the artefact hashes are pure functions of the generated bytes — so
+// regenerating an artefact regenerates its manifest byte-identically.
+func artefactManifest(id string, sweep Sweep, seed uint64, faults fault.Params,
+	meter *sim.Meter, reg *obs.Registry, files map[string][]byte) ([]byte, error) {
+	m := &obs.Manifest{
+		Schema:       obs.ManifestSchema,
+		Binary:       "repro",
+		Artefact:     id,
+		ModelVersion: core.ModelVersion,
+		Seed:         seed,
+		Knobs:        map[string]string{"sweep": string(sweep)},
+		FaultSpec:    faults.String(),
+		Metrics:      reg.Snapshot(false),
+		Artefacts:    obs.HashArtefacts(files),
+	}
+	if meter != nil {
+		m.VirtualSeconds = meter.Total()
+	}
+	return m.Encode()
 }

@@ -1,0 +1,39 @@
+package fault
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+)
+
+// Digest returns the sha256 of a canonical encoding of the plan, for
+// run manifests: two runs driven by byte-identical fault schedules carry
+// the same digest regardless of how the plans were produced. The
+// canonical form writes every field with %g (shortest round-trippable
+// floats) in a fixed order, with straggler ranks sorted.
+func (p *Plan) Digest() string {
+	h := sha256.New()
+	if !p.Empty() {
+		ranks := make([]int, 0, len(p.Stragglers))
+		for r := range p.Stragglers {
+			ranks = append(ranks, r)
+		}
+		sort.Ints(ranks)
+		for _, r := range ranks {
+			for _, t := range p.Stragglers[r] {
+				fmt.Fprintf(h, "s %d %g %g %g\n", r, t.Start, t.End, t.Factor)
+			}
+		}
+		for _, d := range p.Degradations {
+			fmt.Fprintf(h, "d %g %g %g %g\n", d.Start, d.End, d.LatencyFactor, d.BandwidthFactor)
+		}
+		for _, pe := range p.Preemptions {
+			fmt.Fprintf(h, "p %d %g\n", pe.Node, pe.At)
+		}
+		for _, o := range p.Outages {
+			fmt.Fprintf(h, "o %g %g\n", o.Start, o.End)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -9,6 +9,15 @@ package iomodel
 // DCC/EC2 clouds compared to Lustre — a paper-faithful platform
 // difference that the fault experiments (E12) surface directly.
 func (f FS) CheckpointSeconds(n int64, writers int) float64 {
+	return f.WriteSeconds(n, writers) + f.CommitSeconds(writers)
+}
+
+// CommitSeconds returns the durability-commit portion of a checkpoint:
+// create, fsync and an atomic rename (three metadata round-trips), which
+// serialise across writers on a single-server filesystem. Split out so
+// the runtime can meter NFS-vs-Lustre commit stalls separately from the
+// data transfer.
+func (f FS) CommitSeconds(writers int) float64 {
 	if writers < 1 {
 		writers = 1
 	}
@@ -16,5 +25,5 @@ func (f FS) CheckpointSeconds(n int64, writers int) float64 {
 	if !f.ReadScales {
 		commit *= float64(writers)
 	}
-	return f.WriteSeconds(n, writers) + commit
+	return commit
 }

@@ -29,6 +29,8 @@ type RegionStats struct {
 	Comm    float64
 	Compute float64
 	IO      float64
+	Wait    float64 // of Comm: blocked waiting for peers (late sender / straggler)
+	Queued  float64 // messages for this rank sat unmatched this long
 	Calls   map[string]*CallStats
 }
 
@@ -42,6 +44,8 @@ type rankCollector struct {
 	comm     float64
 	compute  float64
 	io       float64
+	wait     float64
+	queued   float64
 	calls    map[string]*CallStats
 	regions  map[string]*RegionStats
 	sizeHist map[int]int // log2 bucket -> message count
@@ -87,6 +91,8 @@ func New(np int) *Profiler {
 func (p *Profiler) Call(rank int, rec mpi.CallRecord) {
 	rc := p.ranks[rank]
 	rc.comm += rec.Dur
+	rc.wait += rec.Wait
+	rc.queued += rec.Queued
 	upd := func(m map[string]*CallStats) {
 		cs, ok := m[rec.Name]
 		if !ok {
@@ -100,6 +106,8 @@ func (p *Profiler) Call(rank int, rec mpi.CallRecord) {
 	upd(rc.calls)
 	rs := rc.regionStats()
 	rs.Comm += rec.Dur
+	rs.Wait += rec.Wait
+	rs.Queued += rec.Queued
 	upd(rs.Calls)
 	rc.sizeHist[sizeBucket(rec.Bytes)]++
 }
@@ -140,12 +148,14 @@ func BucketBytes(bucket int) int { return 1 << bucket }
 
 // Profile is an immutable snapshot of a finished run.
 type Profile struct {
-	NP    int
-	Wall  sim.Series // per-rank final clocks
-	Comm  sim.Series
-	Comp  sim.Series
-	IO    sim.Series
-	Calls map[string]CallStats // aggregated over ranks
+	NP     int
+	Wall   sim.Series // per-rank final clocks
+	Comm   sim.Series
+	Comp   sim.Series
+	IO     sim.Series
+	Wait   sim.Series           // of Comm: per-rank blocked time (Scalasca wait states)
+	Queued sim.Series           // per-rank late-receiver time
+	Calls  map[string]CallStats // aggregated over ranks
 
 	// Resilience accounting, populated (via SetResilience) for runs under
 	// the fault plane with checkpoint/restart. For such runs the per-rank
@@ -188,6 +198,8 @@ func (p *Profiler) Snapshot(res *mpi.Result) *Profile {
 		Comm:     make(sim.Series, np),
 		Comp:     make(sim.Series, np),
 		IO:       make(sim.Series, np),
+		Wait:     make(sim.Series, np),
+		Queued:   make(sim.Series, np),
 		Calls:    map[string]CallStats{},
 		regions:  make([]map[string]*RegionStats, np),
 		sizeHist: map[int]int{},
@@ -196,6 +208,8 @@ func (p *Profiler) Snapshot(res *mpi.Result) *Profile {
 		pr.Comm[r] = rc.comm
 		pr.Comp[r] = rc.compute
 		pr.IO[r] = rc.io
+		pr.Wait[r] = rc.wait
+		pr.Queued[r] = rc.queued
 		pr.regions[r] = rc.regions
 		for name, cs := range rc.calls {
 			agg := pr.Calls[name]
@@ -219,6 +233,30 @@ func (pr *Profile) CommPercent() float64 {
 		return 0
 	}
 	return 100 * pr.Comm.Sum() / wall
+}
+
+// WaitPercent returns blocked (wait-state) time as a percentage of
+// communication time: how much of IPM's "%comm" is peers being late
+// rather than wires being slow.
+func (pr *Profile) WaitPercent() float64 {
+	comm := pr.Comm.Sum()
+	if comm == 0 {
+		return 0
+	}
+	return 100 * pr.Wait.Sum() / comm
+}
+
+// RegionWait returns the per-rank wait and queued series for one region.
+func (pr *Profile) RegionWait(name string) (wait, queued sim.Series) {
+	wait = make(sim.Series, pr.NP)
+	queued = make(sim.Series, pr.NP)
+	for r, m := range pr.regions {
+		if rs, ok := m[name]; ok {
+			wait[r] = rs.Wait
+			queued[r] = rs.Queued
+		}
+	}
+	return wait, queued
 }
 
 // IOPercent returns the percentage of total walltime spent in file I/O.

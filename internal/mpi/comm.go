@@ -21,6 +21,14 @@ type rankState struct {
 	computeTime float64
 	ioTime      float64
 
+	// Wait-state accumulators for the call in flight: recvRaw adds to
+	// them, record() stamps them onto the CallRecord and resets, so a
+	// collective aggregates the waits of its (quiet) inner receives.
+	waitAcc   float64
+	queuedAcc float64
+	maxWait   float64
+	waitPeer  int // world rank of the largest single wait; -1 = none
+
 	region string
 	quiet  int  // >0 suppresses tracing/accounting of nested operations
 	solo   bool // single-communicator phase: sender owns the whole NIC
@@ -41,11 +49,12 @@ type Comm struct {
 
 func newComm(w *World, rank int, group []int) *Comm {
 	st := &rankState{
-		world:   w,
-		wrank:   rank,
-		clock:   w.incStart,
-		rng:     sim.NewRNG(w.Platform.Seed ^ w.seed).Derive(uint64(rank) + 1),
-		deathAt: math.Inf(1),
+		world:    w,
+		wrank:    rank,
+		clock:    w.incStart,
+		rng:      sim.NewRNG(w.Platform.Seed ^ w.seed).Derive(uint64(rank) + 1),
+		deathAt:  math.Inf(1),
+		waitPeer: -1,
 	}
 	if w.faults != nil {
 		if at, ok := w.faults.NodeDeath(w.Placement.NodeOf[rank], w.incStart); ok {
@@ -174,17 +183,23 @@ func (c *Comm) advance(kind string, secs float64) {
 }
 
 // record accounts a completed communication call that began at start.
+// The wait-state accumulators reset only here, on the non-quiet path, so
+// the receives inside a collective roll up into one record.
 func (c *Comm) record(name string, bytes int, start float64) {
-	if c.st.quiet > 0 {
+	st := c.st
+	if st.quiet > 0 {
 		return
 	}
-	dur := c.st.clock - start
-	c.st.commTime += dur
-	if t := c.st.world.tracer; t != nil {
-		t.Call(c.st.wrank, CallRecord{
-			Name: name, Bytes: bytes, Start: start, Dur: dur, Region: c.st.region,
+	dur := st.clock - start
+	st.commTime += dur
+	if t := st.world.tracer; t != nil {
+		t.Call(st.wrank, CallRecord{
+			Name: name, Bytes: bytes, Start: start, Dur: dur, Region: st.region,
+			Wait: st.waitAcc, Queued: st.queuedAcc, Peer: st.waitPeer,
 		})
 	}
+	st.waitAcc, st.queuedAcc, st.maxWait = 0, 0, 0
+	st.waitPeer = -1
 }
 
 // link returns the transport between two world ranks.
@@ -246,14 +261,34 @@ func (c *Comm) sendMsg(dst, tag int, m *message, bytes int) float64 {
 	c.st.clock += busy
 	m.ctx, m.src, m.tag = c.ctx, c.st.wrank, tag
 	m.bytes, m.arrive = bytes, start+delay
+	w.met.sends.Inc()
+	w.met.sendBytes.Add(int64(bytes))
+	w.met.msgBytes.Observe(int64(bytes))
+	if rv := RendezvousBytes(); rv > 0 && int64(bytes) >= rv {
+		w.met.rendezvous.Inc()
+	} else {
+		w.met.eager.Inc()
+	}
 	w.inboxes[wdst].put(w, m)
 	return start
+}
+
+// leaseMessage leases a pooled envelope on behalf of this rank's world,
+// metering pool traffic.
+func (c *Comm) leaseMessage() *message {
+	m, fresh := newMessage()
+	met := &c.st.world.met
+	met.poolLease.Inc()
+	if fresh {
+		met.poolMiss.Inc()
+	}
+	return m
 }
 
 // sendPhantom leases an envelope for an n-byte size-only message and
 // injects it.
 func (c *Comm) sendPhantom(dst, tag, n int) float64 {
-	m := newMessage()
+	m := c.leaseMessage()
 	m.kind = payloadNone
 	return c.sendMsg(dst, tag, m, n)
 }
@@ -262,7 +297,7 @@ func (c *Comm) sendPhantom(dst, tag, n int) float64 {
 // and injects it. The copy is the only per-message data movement on the
 // send side; the buffer itself is recycled when the receiver completes.
 func (c *Comm) sendF64(dst, tag int, data []float64) float64 {
-	m := newMessage()
+	m := c.leaseMessage()
 	m.kind = payloadF64
 	m.f64 = grownF64(m.f64, len(data))
 	copy(m.f64, data)
@@ -280,10 +315,29 @@ func (c *Comm) recvRaw(src, tag int) *message {
 	}
 	m := c.st.world.inboxes[c.st.wrank].match(c.st.world, c.ctx, wsrc, tag)
 	link := c.st.world.link(m.src, c.st.wrank)
-	if m.arrive > c.st.clock {
-		c.st.clock = m.arrive
+	st := c.st
+	met := &st.world.met
+	met.recvs.Inc()
+	met.recvBytes.Add(int64(m.bytes))
+	// Classify the wait state before advancing the clock: arrival after
+	// the receive entry is late-sender blocked time, arrival before it
+	// means the message sat queued (late receiver). Neither changes any
+	// clock value the model already computed.
+	if m.arrive > st.clock {
+		wait := m.arrive - st.clock
+		st.waitAcc += wait
+		if wait > st.maxWait {
+			st.maxWait = wait
+			st.waitPeer = m.src
+		}
+		met.waitNS.AddSeconds(wait)
+		st.clock = m.arrive
+	} else if m.arrive < st.clock {
+		queued := st.clock - m.arrive
+		st.queuedAcc += queued
+		met.queuedNS.AddSeconds(queued)
 	}
-	c.st.clock += link.RecvOverhead
+	st.clock += link.RecvOverhead
 	return m
 }
 
@@ -298,7 +352,7 @@ func (c *Comm) Send(dst, tag int, data []float64) {
 
 // SendInts transmits an int slice.
 func (c *Comm) SendInts(dst, tag int, data []int) {
-	m := newMessage()
+	m := c.leaseMessage()
 	m.kind = payloadInt
 	m.ints = grownInt(m.ints, len(data))
 	copy(m.ints, data)
@@ -308,7 +362,7 @@ func (c *Comm) SendInts(dst, tag int, data []int) {
 
 // SendComplex transmits a complex128 slice.
 func (c *Comm) SendComplex(dst, tag int, data []complex128) {
-	m := newMessage()
+	m := c.leaseMessage()
 	m.kind = payloadCplx
 	m.cplx = grownCplx(m.cplx, len(data))
 	copy(m.cplx, data)

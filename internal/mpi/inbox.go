@@ -26,6 +26,7 @@ type message struct {
 	bytes  int     // modelled payload size
 	arrive float64 // virtual arrival time at the receiver
 	seq    uint64  // per-inbox arrival stamp, orders wildcard matching
+	fresh  bool    // set by the pool's allocator, cleared on lease: marks a pool miss
 }
 
 // bucketKey addresses one exact-match FIFO queue.
@@ -132,6 +133,7 @@ func (b *inbox) put(w *World, m *message) {
 	}
 	q.push(m)
 	b.npend++
+	w.met.inboxDepth.Observe(int64(b.npend))
 	if b.waiting && matches(m, b.wctx, b.wsrc, b.wtag) {
 		b.waiting = false
 		if b.scored {

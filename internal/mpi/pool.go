@@ -84,16 +84,20 @@ func SetRendezvousBytes(n int64) int64 {
 // capacity: an envelope that carried a 1 KiB payload comes back with
 // that buffer ready to reuse, so a steady stream of same-sized messages
 // reaches zero allocations after warm-up.
-var msgPool = sync.Pool{New: func() any { return new(message) }}
+var msgPool = sync.Pool{New: func() any { return &message{fresh: true} }}
 
 // newMessage leases an envelope (and whatever payload capacity it
-// retained) from the pool.
-func newMessage() *message {
+// retained) from the pool. fresh reports whether the pool had to
+// allocate (a pool miss); release clears the flag, so recycled
+// envelopes come back with it unset.
+func newMessage() (m *message, fresh bool) {
 	if rendezvousBytes.Load() <= 0 {
-		return new(message)
+		return new(message), true
 	}
-	m := msgPool.Get().(*message)
-	return m
+	m = msgPool.Get().(*message)
+	fresh = m.fresh
+	m.fresh = false
+	return m, fresh
 }
 
 // release recycles the envelope after the receiver has fully consumed

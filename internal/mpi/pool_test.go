@@ -257,7 +257,7 @@ func TestPendingCounterConcurrent(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < perProducer; i++ {
-				m := newMessage()
+				m, _ := newMessage()
 				m.ctx, m.src, m.tag = 1, pr, i%3
 				b.put(w, m)
 			}
@@ -311,7 +311,7 @@ func TestPendingCounterFIFO(t *testing.T) {
 	w := &World{}
 	b := newInbox()
 	for i := 0; i < 6; i++ {
-		m := newMessage()
+		m, _ := newMessage()
 		m.ctx, m.src, m.tag, m.bytes = 1, i%2, 5, i
 		b.put(w, m)
 	}

@@ -93,12 +93,16 @@ func (c *Comm) Checkpoint(step int, bytes int64) {
 	}
 	w := c.st.world
 	writers := c.Size()
-	c.advance("io", w.Platform.FS.CheckpointSeconds(bytes/int64(writers), writers))
+	shard := bytes / int64(writers)
+	c.advance("io", w.Platform.FS.WriteSeconds(shard, writers))
+	c.advance("io", w.Platform.FS.CommitSeconds(writers))
+	w.met.ckptBytes.Add(shard)
 	// The checkpoint is durable only when the slowest shard is written;
 	// agree on that time and barrier-align every rank to it.
 	t := []float64{c.st.clock}
 	c.Allreduce(Max, t)
 	if t[0] > c.st.clock {
+		w.met.commitStallNS.AddSeconds(t[0] - c.st.clock)
 		c.st.clock = t[0]
 	}
 	if w.resil != nil {
@@ -174,6 +178,7 @@ func (w *World) RunResilient(cfg ResilientConfig, fn func(c *Comm) error) (*Resu
 			tracer:      w.tracer,
 			seed:        w.seed,
 			timeout:     w.timeout,
+			met:         w.met,
 			resil:       rs,
 			incStart:    start,
 			resumeStep:  resume,
@@ -192,6 +197,7 @@ func (w *World) RunResilient(cfg ResilientConfig, fn func(c *Comm) error) (*Resu
 		res, err := iw.Run(fn)
 		if err == nil {
 			stats.Checkpoints = rs.count()
+			w.met.checkpoints.Add(int64(stats.Checkpoints))
 			return res, stats, nil
 		}
 		var rf *RankFailedError
@@ -207,6 +213,9 @@ func (w *World) RunResilient(cfg ResilientConfig, fn func(c *Comm) error) (*Resu
 		stats.LostWork += rf.At - math.Max(at, start)
 		stats.RestartOverhead += cfg.RestartDelay
 		stats.Restarts++
+		w.met.restarts.Inc()
+		w.met.lostWorkNS.AddSeconds(rf.At - math.Max(at, start))
+		w.met.restartOverheadNS.AddSeconds(cfg.RestartDelay)
 		start = rf.At + cfg.RestartDelay
 		resume = step
 	}

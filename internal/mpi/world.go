@@ -47,6 +47,17 @@ type CallRecord struct {
 	Start  float64 // virtual time at call entry
 	Dur    float64 // virtual duration of the call
 	Region string  // profiling region active during the call
+
+	// Wait is the virtual time this rank sat blocked inside the call
+	// waiting for messages to arrive (summed over the receives of a
+	// collective); Queued is how long arrived messages sat unmatched
+	// before the receive was posted. Both derive from arrival times the
+	// runtime already computes, so they change no clock math. Peer is
+	// the world rank responsible for the largest single wait, or -1 if
+	// the call never blocked.
+	Wait   float64
+	Queued float64
+	Peer   int
 }
 
 // World is a communicator universe: np ranks placed on a platform.
@@ -59,6 +70,8 @@ type World struct {
 	tracer  Tracer
 	seed    uint64
 	timeout time.Duration
+
+	met worldMetrics // observability handles; zero value = metering off
 
 	faults      *fault.Plan // nil = no fault injection
 	incStart    float64     // virtual time at which this incarnation's clocks start
@@ -125,6 +138,7 @@ func (w *World) rankStopped() {
 // in. The restart point derives from this identity, so it must be
 // deterministic.
 func (w *World) markFailed(rank, node int, at float64) {
+	w.met.ranksLost.Inc()
 	w.sb.mu.Lock()
 	if !w.sb.failed || at < w.sb.failAt || (at == w.sb.failAt && rank < w.sb.failRank) {
 		w.sb.failed = true

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// collectiveNames marks the call names the mpi runtime records for
+// collective operations. Wait time inside them is attributed to the
+// straggling rank rather than classified as a point-to-point late
+// sender.
+var collectiveNames = map[string]bool{
+	"Barrier": true, "Bcast": true, "Reduce": true, "Allreduce": true,
+	"Allgather": true, "Alltoall": true, "Alltoallv": true,
+	"Gather": true, "Scatter": true, "Reduce_scatter": true,
+	"Scan": true, "Exscan": true, "Comm_split": true,
+}
+
+// RankBreakdown is one rank's time split, the per-process view of the
+// paper's Figure 7.
+type RankBreakdown struct {
+	Rank   int
+	Comp   float64 // compute seconds
+	Comm   float64 // communication seconds (includes Wait)
+	IO     float64
+	Wait   float64 // blocked inside comm waiting for peers
+	Queued float64 // peer messages sat unmatched this long
+	End    float64 // virtual end time of the rank's last event
+}
+
+// RegionWait aggregates wait states per profiling region — the
+// explanatory layer under the paper's Table II comm-% numbers.
+type RegionWait struct {
+	Region string
+	Calls  int     // comm calls in the region
+	Comm   float64 // total comm seconds
+	Wait   float64 // of which blocked waiting
+	Queued float64
+}
+
+// WaitStats classifies blocked time Scalasca-style.
+type WaitStats struct {
+	LateSenderCount   int     // p2p receives that blocked
+	LateSender        float64 // seconds
+	LateReceiverCount int     // calls whose messages waited in the inbox
+	LateReceiver      float64
+	CollectiveCount   int // collective calls that blocked
+	CollectiveWait    float64
+	// ByStraggler[r] is the total wait time other ranks spent blocked on
+	// rank r — the "who made whom wait" attribution.
+	ByStraggler map[int]float64
+}
+
+// Segment is one hop of the cross-rank critical path.
+type Segment struct {
+	Rank       int
+	Name       string
+	Kind       string
+	Start, End float64
+}
+
+// Dur returns the segment length.
+func (s Segment) Dur() float64 { return s.End - s.Start }
+
+// Analysis is the full result of a wait-state and critical-path pass.
+type Analysis struct {
+	NP         int
+	End        float64 // run end: max rank end time
+	Ranks      []RankBreakdown
+	Regions    []RegionWait // sorted by wait descending, then name
+	Waits      WaitStats
+	Path       []Segment // cross-rank critical path, in time order
+	PathLength float64   // sum of segment durations (== End on gap-free traces)
+}
+
+// Analyze runs the wait-state classification, per-region aggregation and
+// critical-path search over a timeline.
+func Analyze(tl Timeline) *Analysis {
+	tl = tl.sorted()
+	a := &Analysis{NP: len(tl), Waits: WaitStats{ByStraggler: map[int]float64{}}}
+	regions := map[string]*RegionWait{}
+	for r, evs := range tl {
+		rb := RankBreakdown{Rank: r}
+		for _, e := range evs {
+			if end := e.End(); end > rb.End {
+				rb.End = end
+			}
+			switch e.Kind {
+			case "comm":
+				rb.Comm += e.Dur
+				rb.Wait += e.Wait
+				rb.Queued += e.Queued
+				rw := regions[e.Region]
+				if rw == nil {
+					rw = &RegionWait{Region: e.Region}
+					regions[e.Region] = rw
+				}
+				rw.Calls++
+				rw.Comm += e.Dur
+				rw.Wait += e.Wait
+				rw.Queued += e.Queued
+				if e.Wait > 0 {
+					if collectiveNames[e.Name] {
+						a.Waits.CollectiveCount++
+						a.Waits.CollectiveWait += e.Wait
+					} else {
+						a.Waits.LateSenderCount++
+						a.Waits.LateSender += e.Wait
+					}
+					if e.Peer >= 0 {
+						a.Waits.ByStraggler[e.Peer] += e.Wait
+					}
+				}
+				if e.Queued > 0 {
+					a.Waits.LateReceiverCount++
+					a.Waits.LateReceiver += e.Queued
+				}
+			case "io":
+				rb.IO += e.Dur
+			default:
+				rb.Comp += e.Dur
+			}
+		}
+		if rb.End > a.End {
+			a.End = rb.End
+		}
+		a.Ranks = append(a.Ranks, rb)
+	}
+	for _, rw := range regions {
+		a.Regions = append(a.Regions, *rw)
+	}
+	sort.Slice(a.Regions, func(i, j int) bool {
+		if a.Regions[i].Wait != a.Regions[j].Wait {
+			return a.Regions[i].Wait > a.Regions[j].Wait
+		}
+		return a.Regions[i].Region < a.Regions[j].Region
+	})
+	a.Path, a.PathLength = CriticalPath(tl)
+	return a
+}
+
+// CriticalPath walks the timeline backwards from the rank that finishes
+// last. While an event is doing local work it stays on that rank; at a
+// blocking receive (Wait > 0) the dependency that determined progress is
+// the message arrival, so the walk jumps to the peer rank at the arrival
+// time. The returned segments are in forward time order; the second
+// result is their summed duration. On a gap-free trace it equals the
+// run's end time, and on a communication-free trace the path is the
+// longest rank's own timeline.
+func CriticalPath(tl Timeline) ([]Segment, float64) {
+	np := len(tl)
+	total := 0
+	rank, t := -1, 0.0
+	for r, evs := range tl {
+		total += len(evs)
+		if n := len(evs); n > 0 {
+			if end := evs[n-1].End(); end > t {
+				rank, t = r, end
+			}
+		}
+	}
+	if rank < 0 {
+		return nil, 0
+	}
+	const eps = 1e-12
+	var rev []Segment
+	push := func(r int, name, kind string, start, end float64) {
+		if end-start > eps {
+			rev = append(rev, Segment{Rank: r, Name: name, Kind: kind, Start: start, End: end})
+		}
+	}
+	// Each iteration moves t strictly earlier or steps to an earlier
+	// event; 2*total+np bounds any well-formed walk, so a malformed
+	// timeline (cyclic arrival times) cannot loop forever.
+	for iter := 0; t > eps && iter < 2*total+np+8; iter++ {
+		evs := tl[rank]
+		// Latest event on this rank starting before t.
+		idx := sort.Search(len(evs), func(i int) bool { return evs[i].Start >= t }) - 1
+		if idx < 0 {
+			break // untracked head of the timeline
+		}
+		e := evs[idx]
+		segEnd := math.Min(e.End(), t)
+		if e.End() < t {
+			push(rank, "(untracked)", "gap", e.End(), t)
+		}
+		if e.Wait > 0 && e.Peer >= 0 && e.Peer != rank && e.Peer < np {
+			arrival := e.Start + e.Wait
+			if arrival < segEnd-eps {
+				push(rank, e.Name, e.Kind, arrival, segEnd)
+				rank, t = e.Peer, arrival
+				continue
+			}
+		}
+		push(rank, e.Name, e.Kind, e.Start, segEnd)
+		t = e.Start
+	}
+	var length float64
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	for _, s := range rev {
+		length += s.Dur()
+	}
+	return rev, length
+}
+
+// FoldedStacks renders the timeline as folded flamegraph stacks
+// ("frame;frame value" lines, value in integer microseconds), one stack
+// per (rank, region, activity). Output is deterministic: ranks ascending,
+// then region and name in first-appearance order of the rank's timeline.
+func FoldedStacks(tl Timeline) []byte {
+	var buf bytes.Buffer
+	for r, evs := range tl {
+		type key struct{ region, name string }
+		var order []key
+		sums := map[key]float64{}
+		for _, e := range evs {
+			k := key{e.Region, e.Name}
+			if _, ok := sums[k]; !ok {
+				order = append(order, k)
+			}
+			sums[k] += e.Dur
+		}
+		for _, k := range order {
+			us := int64(math.Round(sums[k] * 1e6))
+			if us <= 0 {
+				continue
+			}
+			if k.region != "" {
+				fmt.Fprintf(&buf, "rank %d;%s;%s %d\n", r, k.region, k.name, us)
+			} else {
+				fmt.Fprintf(&buf, "rank %d;%s %d\n", r, k.name, us)
+			}
+		}
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// lateSenderTimeline is a hand-built 4-rank scenario with exact binary
+// float times, so every analyzer sum is exact:
+//
+//   - rank 0 computes until t=4 and only then sends to ranks 1..3, which
+//     posted their receives at t=1 — three late-sender waits all
+//     attributable to rank 0 (3.5 + 4 + 4.5 = 12 s);
+//   - an Allreduce where rank 3 arrives last (t=5.75) — collective wait
+//     on ranks 0..2 (0.25 + 1 + 0.5 = 1.75 s) attributed to rank 3;
+//   - a final receive on rank 3 whose message sat queued 0.5 s — one
+//     late-receiver state.
+func lateSenderTimeline() Timeline {
+	ev := func(rank int, name, kind, region string, start, dur, wait, queued float64, peer int) Event {
+		return Event{Rank: rank, Name: name, Kind: kind, Region: region,
+			Start: start, Dur: dur, Wait: wait, Queued: queued, Peer: peer}
+	}
+	return Timeline{
+		0: {
+			ev(0, "step", "compute", "setup", 0, 4, 0, 0, -1),
+			ev(0, "Send", "comm", "exchange", 4, 0.5, 0, 0, -1),
+			ev(0, "Send", "comm", "exchange", 4.5, 0.5, 0, 0, -1),
+			ev(0, "Send", "comm", "exchange", 5, 0.5, 0, 0, -1),
+			ev(0, "Allreduce", "comm", "solve", 5.5, 1, 0.25, 0, 3),
+		},
+		1: {
+			ev(1, "step", "compute", "setup", 0, 1, 0, 0, -1),
+			ev(1, "Recv", "comm", "exchange", 1, 3.75, 3.5, 0, 0),
+			ev(1, "Allreduce", "comm", "solve", 4.75, 1.75, 1, 0, 3),
+		},
+		2: {
+			ev(2, "step", "compute", "setup", 0, 1, 0, 0, -1),
+			ev(2, "Recv", "comm", "exchange", 1, 4.25, 4, 0, 0),
+			ev(2, "Allreduce", "comm", "solve", 5.25, 1.25, 0.5, 0, 3),
+		},
+		3: {
+			ev(3, "step", "compute", "setup", 0, 1, 0, 0, -1),
+			ev(3, "Recv", "comm", "exchange", 1, 4.75, 4.5, 0, 0),
+			ev(3, "Allreduce", "comm", "solve", 5.75, 0.75, 0, 0, -1),
+			ev(3, "Recv", "comm", "drain", 6.5, 0.25, 0, 0.5, -1),
+		},
+	}
+}
+
+func TestAnalyzeLateSenderGolden(t *testing.T) {
+	a := Analyze(lateSenderTimeline())
+	if a.NP != 4 {
+		t.Fatalf("NP = %d", a.NP)
+	}
+	if !approx(a.End, 6.75) {
+		t.Fatalf("End = %v, want 6.75", a.End)
+	}
+
+	w := a.Waits
+	if w.LateSenderCount != 3 || !approx(w.LateSender, 12) {
+		t.Fatalf("late sender: count=%d sum=%v, want 3/12", w.LateSenderCount, w.LateSender)
+	}
+	if w.CollectiveCount != 3 || !approx(w.CollectiveWait, 1.75) {
+		t.Fatalf("collective: count=%d sum=%v, want 3/1.75", w.CollectiveCount, w.CollectiveWait)
+	}
+	if w.LateReceiverCount != 1 || !approx(w.LateReceiver, 0.5) {
+		t.Fatalf("late receiver: count=%d sum=%v, want 1/0.5", w.LateReceiverCount, w.LateReceiver)
+	}
+	if len(w.ByStraggler) != 2 || !approx(w.ByStraggler[0], 12) || !approx(w.ByStraggler[3], 1.75) {
+		t.Fatalf("straggler attribution = %v, want {0:12, 3:1.75}", w.ByStraggler)
+	}
+
+	// Per-rank breakdown: rank 1 computes 1 s, spends 5.5 s in comm of
+	// which 4.5 s blocked.
+	r1 := a.Ranks[1]
+	if !approx(r1.Comp, 1) || !approx(r1.Comm, 5.5) || !approx(r1.Wait, 4.5) {
+		t.Fatalf("rank 1 breakdown = %+v", r1)
+	}
+
+	// Golden region-wait table, sorted by wait descending.
+	type row struct {
+		region             string
+		calls              int
+		comm, wait, queued float64
+	}
+	want := []row{
+		{"exchange", 6, 14.25, 12, 0},
+		{"solve", 4, 4.75, 1.75, 0},
+		{"drain", 1, 0.25, 0, 0.5},
+	}
+	if len(a.Regions) != len(want) {
+		t.Fatalf("regions = %+v", a.Regions)
+	}
+	for i, wr := range want {
+		g := a.Regions[i]
+		if g.Region != wr.region || g.Calls != wr.calls ||
+			!approx(g.Comm, wr.comm) || !approx(g.Wait, wr.wait) || !approx(g.Queued, wr.queued) {
+			t.Fatalf("region[%d] = %+v, want %+v", i, g, wr)
+		}
+	}
+}
+
+func TestCriticalPathHopsToLateSender(t *testing.T) {
+	a := Analyze(lateSenderTimeline())
+	// The trace is gap-free, so the path spans the whole run.
+	if !approx(a.PathLength, a.End) {
+		t.Fatalf("path length %v != end %v", a.PathLength, a.End)
+	}
+	if len(a.Path) == 0 {
+		t.Fatal("empty path")
+	}
+	// The run ends on rank 3, but the root cause is rank 0's long compute
+	// phase: the backwards walk must hop across the late-sender receive.
+	first, last := a.Path[0], a.Path[len(a.Path)-1]
+	if first.Rank != 0 || first.Name != "step" {
+		t.Fatalf("path starts at %+v, want rank 0 compute", first)
+	}
+	if last.Rank != 3 || last.Name != "Recv" || !approx(last.End, 6.75) {
+		t.Fatalf("path ends at %+v, want rank 3 final Recv", last)
+	}
+	hops := map[int]bool{}
+	for i, s := range a.Path {
+		hops[s.Rank] = true
+		if i > 0 && s.Start+1e-9 < a.Path[i-1].End {
+			t.Fatalf("path segments overlap: %+v then %+v", a.Path[i-1], s)
+		}
+	}
+	if !hops[0] || !hops[3] {
+		t.Fatalf("path visits ranks %v, want both 0 and 3", hops)
+	}
+}
+
+// On an embarrassingly parallel trace (no communication at all) the
+// critical path is just the longest rank's own timeline.
+func TestCriticalPathEmbarrassinglyParallel(t *testing.T) {
+	tl := Timeline{}
+	durs := []float64{3.5, 7.25, 2, 5}
+	maxEnd := 0.0
+	for r, d := range durs {
+		tl = append(tl, []Event{
+			{Rank: r, Name: "step", Kind: "compute", Start: 0, Dur: d / 2, Peer: -1},
+			{Rank: r, Name: "step", Kind: "compute", Start: d / 2, Dur: d / 2, Peer: -1},
+		})
+		if d > maxEnd {
+			maxEnd = d
+		}
+	}
+	a := Analyze(tl)
+	if !approx(a.PathLength, maxEnd) {
+		t.Fatalf("path length = %v, want max per-rank virtual time %v", a.PathLength, maxEnd)
+	}
+	for _, s := range a.Path {
+		if s.Rank != 1 {
+			t.Fatalf("EP path left the slowest rank: %+v", s)
+		}
+	}
+	if a.Waits.LateSenderCount != 0 || a.Waits.CollectiveCount != 0 {
+		t.Fatalf("EP trace classified waits: %+v", a.Waits)
+	}
+}
+
+func TestCriticalPathEmptyTimeline(t *testing.T) {
+	if path, length := CriticalPath(Timeline{nil, nil}); path != nil || length != 0 {
+		t.Fatalf("empty timeline: path=%v length=%v", path, length)
+	}
+}
+
+// randomTimeline builds a well-formed random timeline: per rank a
+// sequence of non-overlapping events where every comm event's Wait and
+// Queued fit inside its duration.
+func randomTimeline(rng *rand.Rand) Timeline {
+	np := 1 + rng.Intn(6)
+	tl := make(Timeline, np)
+	for r := 0; r < np; r++ {
+		clock := 0.0
+		n := rng.Intn(20)
+		for i := 0; i < n; i++ {
+			clock += rng.Float64() // gap: untracked time is legal
+			dur := rng.Float64() * 2
+			e := Event{Rank: r, Start: clock, Dur: dur, Peer: -1, Name: "step", Kind: "compute"}
+			switch rng.Intn(3) {
+			case 0:
+				e.Kind, e.Name = "comm", "Recv"
+				e.Wait = dur * rng.Float64()
+				e.Queued = rng.Float64()
+				if e.Wait > 0 && rng.Intn(2) == 0 {
+					e.Peer = rng.Intn(np)
+				}
+				if rng.Intn(4) == 0 {
+					e.Name = "Allreduce"
+				}
+			case 1:
+				e.Kind, e.Name = "io", "Write"
+			}
+			tl[r] = append(tl[r], e)
+			clock += dur
+		}
+	}
+	return tl
+}
+
+// Property: attributed wait can never exceed the total communication
+// time — per rank, per class, and per straggler.
+func TestQuickWaitNeverExceedsCommTime(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tl := randomTimeline(rng)
+		a := Analyze(tl)
+
+		var totalComm, totalWait, byStraggler float64
+		for _, rb := range a.Ranks {
+			if rb.Wait > rb.Comm+1e-9 {
+				t.Logf("seed %d: rank %d wait %v > comm %v", seed, rb.Rank, rb.Wait, rb.Comm)
+				return false
+			}
+			totalComm += rb.Comm
+			totalWait += rb.Wait
+		}
+		classified := a.Waits.LateSender + a.Waits.CollectiveWait
+		if classified > totalComm+1e-9 || !approx(classified, totalWait) {
+			t.Logf("seed %d: classified %v, total wait %v, comm %v", seed, classified, totalWait, totalComm)
+			return false
+		}
+		for r, w := range a.Waits.ByStraggler {
+			byStraggler += w
+			if r < 0 || r >= a.NP {
+				t.Logf("seed %d: straggler rank %d out of range", seed, r)
+				return false
+			}
+		}
+		if byStraggler > classified+1e-9 {
+			t.Logf("seed %d: straggler sum %v > classified wait %v", seed, byStraggler, classified)
+			return false
+		}
+		// Region table partitions the same comm time.
+		var regionComm float64
+		for _, rw := range a.Regions {
+			regionComm += rw.Comm
+		}
+		return approx(regionComm, totalComm)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the critical path never overlaps itself and never exceeds
+// the run's end time (it can be shorter when the trace has gaps).
+func TestQuickCriticalPathBounded(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tl := randomTimeline(rng)
+		a := Analyze(tl)
+		if a.PathLength > a.End+1e-9 {
+			t.Logf("seed %d: path %v > end %v", seed, a.PathLength, a.End)
+			return false
+		}
+		for i := 1; i < len(a.Path); i++ {
+			if a.Path[i].Start+1e-9 < a.Path[i-1].End {
+				t.Logf("seed %d: overlapping segments %+v / %+v", seed, a.Path[i-1], a.Path[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFoldedStacks(t *testing.T) {
+	out := string(FoldedStacks(lateSenderTimeline()))
+	want := []string{
+		"rank 0;setup;step 4000000\n",
+		"rank 0;exchange;Send 1500000\n", // three sends folded into one stack
+		"rank 1;exchange;Recv 3750000\n",
+		"rank 3;drain;Recv 250000\n",
+	}
+	for _, line := range want {
+		if !strings.Contains(out, line) {
+			t.Fatalf("folded stacks missing %q:\n%s", line, out)
+		}
+	}
+	if out != string(FoldedStacks(lateSenderTimeline())) {
+		t.Fatal("folded stacks not deterministic")
+	}
+}

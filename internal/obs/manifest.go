@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ManifestSchema identifies the manifest layout; Validate rejects
+// anything else, so readers never guess at fields.
+const ManifestSchema = "repro.run.manifest/v1"
+
+// Manifest is the structured provenance record a binary writes next to
+// its outputs: everything needed to trace a number in results/ back to
+// the exact run that produced it.
+//
+// Deterministic by construction when WallSeconds is left zero and the
+// metrics snapshot is the stable one: every other field is a pure
+// function of (code, seed, knobs).
+type Manifest struct {
+	Schema       string `json:"schema"`
+	Binary       string `json:"binary"`
+	Artefact     string `json:"artefact,omitempty"`
+	ModelVersion string `json:"model_version"`
+	Platform     string `json:"platform,omitempty"`
+	Seed         uint64 `json:"seed"`
+
+	// Knobs records the effective flag/parameter settings of the run.
+	Knobs map[string]string `json:"knobs,omitempty"`
+
+	// FaultSpec is the canonical fault-parameter string (the -faults
+	// flag); FaultDigest is the sha256 of the generated plan when a
+	// single concrete plan drove the run.
+	FaultSpec   string `json:"fault_spec,omitempty"`
+	FaultDigest string `json:"fault_digest,omitempty"`
+
+	VirtualSeconds float64 `json:"virtual_seconds,omitempty"`
+	// WallSeconds is real elapsed time. Interactive binaries fill it;
+	// artefact manifests leave it zero so regeneration stays
+	// byte-identical.
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+
+	// Metrics is the registry snapshot (stable subset for artefact
+	// manifests).
+	Metrics map[string]Metric `json:"metrics,omitempty"`
+
+	// Artefacts maps output file name to sha256 of its content.
+	Artefacts map[string]string `json:"artefacts,omitempty"`
+}
+
+// HashArtefacts returns the name -> sha256 map for a set of produced
+// files.
+func HashArtefacts(files map[string][]byte) map[string]string {
+	if len(files) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(files))
+	for name, content := range files {
+		sum := sha256.Sum256(content)
+		out[name] = hex.EncodeToString(sum[:])
+	}
+	return out
+}
+
+// Validate checks structural invariants: schema id, required fields,
+// well-formed hashes and known metric kinds.
+func (m *Manifest) Validate() error {
+	if m.Schema != ManifestSchema {
+		return fmt.Errorf("manifest: schema %q, want %q", m.Schema, ManifestSchema)
+	}
+	if m.Binary == "" {
+		return fmt.Errorf("manifest: missing binary")
+	}
+	if m.ModelVersion == "" {
+		return fmt.Errorf("manifest: missing model_version")
+	}
+	for name, sum := range m.Artefacts {
+		if len(sum) != 64 {
+			return fmt.Errorf("manifest: artefact %q: hash length %d, want 64", name, len(sum))
+		}
+		if _, err := hex.DecodeString(sum); err != nil {
+			return fmt.Errorf("manifest: artefact %q: bad hash: %w", name, err)
+		}
+	}
+	for name, met := range m.Metrics {
+		switch met.Kind {
+		case "counter", "gauge", "histogram":
+		default:
+			return fmt.Errorf("manifest: metric %q: unknown kind %q", name, met.Kind)
+		}
+	}
+	if m.FaultDigest != "" {
+		if len(m.FaultDigest) != 64 {
+			return fmt.Errorf("manifest: fault digest length %d, want 64", len(m.FaultDigest))
+		}
+		if _, err := hex.DecodeString(m.FaultDigest); err != nil {
+			return fmt.Errorf("manifest: bad fault digest: %w", err)
+		}
+	}
+	return nil
+}
+
+// Encode renders the manifest as deterministic indented JSON (map keys
+// sorted by encoding/json) with a trailing newline.
+func (m *Manifest) Encode() ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeManifest parses and validates manifest bytes.
+func DecodeManifest(b []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// ReadManifest loads and validates a manifest file.
+func ReadManifest(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := DecodeManifest(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// WriteManifest encodes m to path; a no-op when path is empty, so
+// binaries can pass their -manifest flag through unconditionally.
+func WriteManifest(path string, m *Manifest) error {
+	if path == "" {
+		return nil
+	}
+	b, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleManifest() *Manifest {
+	files := map[string][]byte{
+		"fig7.csv": []byte("rank,comp,comm\n0,1,2\n"),
+		"fig7.txt": []byte("Figure 7\n"),
+	}
+	return &Manifest{
+		Schema: ManifestSchema, Binary: "repro", Artefact: "fig7",
+		ModelVersion: "model/test", Platform: "vayu", Seed: 42,
+		Knobs:          map[string]string{"sweep": "quick"},
+		FaultSpec:      "mtbf=600,ckpt=3",
+		VirtualSeconds: 123.5,
+		Metrics: map[string]Metric{
+			"mpi_sends_total": {Kind: "counter", Value: 17},
+			"sched_job_ns":    {Kind: "histogram", Count: 2, Sum: 9, Buckets: map[string]int64{"7": 2}},
+		},
+		Artefacts: HashArtefacts(files),
+	}
+}
+
+func TestHashArtefacts(t *testing.T) {
+	content := []byte("hello")
+	sum := sha256.Sum256(content)
+	got := HashArtefacts(map[string][]byte{"a.txt": content})
+	if got["a.txt"] != hex.EncodeToString(sum[:]) {
+		t.Fatalf("hash = %s", got["a.txt"])
+	}
+	if HashArtefacts(nil) != nil {
+		t.Fatal("empty input should hash to nil")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := sampleManifest()
+	b1, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("Encode is not deterministic")
+	}
+	if !bytes.HasSuffix(b1, []byte("\n")) {
+		t.Fatal("missing trailing newline")
+	}
+	got, err := DecodeManifest(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Binary != m.Binary || got.Seed != m.Seed || got.VirtualSeconds != m.VirtualSeconds {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Metrics["mpi_sends_total"].Value != 17 {
+		t.Fatalf("metrics lost: %+v", got.Metrics)
+	}
+	if got.Artefacts["fig7.csv"] != m.Artefacts["fig7.csv"] {
+		t.Fatal("artefact hashes lost")
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Manifest)
+		want   string
+	}{
+		{"wrong schema", func(m *Manifest) { m.Schema = "v0" }, "schema"},
+		{"missing binary", func(m *Manifest) { m.Binary = "" }, "binary"},
+		{"missing model", func(m *Manifest) { m.ModelVersion = "" }, "model_version"},
+		{"short hash", func(m *Manifest) { m.Artefacts["fig7.csv"] = "abc" }, "hash length"},
+		{"non-hex hash", func(m *Manifest) {
+			m.Artefacts["fig7.csv"] = strings.Repeat("zz", 32)
+		}, "bad hash"},
+		{"unknown metric kind", func(m *Manifest) {
+			m.Metrics["x"] = Metric{Kind: "summary"}
+		}, "unknown kind"},
+		{"bad fault digest", func(m *Manifest) { m.FaultDigest = "nope" }, "digest"},
+	}
+	for _, tc := range cases {
+		m := sampleManifest()
+		tc.mutate(m)
+		err := m.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+		if _, encErr := m.Encode(); encErr == nil {
+			t.Fatalf("%s: Encode accepted an invalid manifest", tc.name)
+		}
+	}
+	if err := sampleManifest().Validate(); err != nil {
+		t.Fatalf("valid manifest rejected: %v", err)
+	}
+}
+
+func TestWriteReadManifest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.manifest.json")
+	if err := WriteManifest(path, sampleManifest()); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Artefact != "fig7" || m.Knobs["sweep"] != "quick" {
+		t.Fatalf("read back %+v", m)
+	}
+	// Empty path is an explicit no-op so binaries pass -manifest through.
+	if err := WriteManifest("", sampleManifest()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("reading a missing manifest should fail")
+	}
+}

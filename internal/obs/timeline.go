@@ -1,0 +1,51 @@
+package obs
+
+import "sort"
+
+// Event is one per-rank timeline slice in virtual time. It is the
+// neutral form shared by the recorder (internal/trace aliases its Event
+// to this type) and the analyzer, so obs never imports simulator
+// packages.
+type Event struct {
+	Rank   int
+	Name   string  // call or activity name
+	Kind   string  // "comm", "compute", "io"
+	Region string  // profiling region active at the time
+	Start  float64 // virtual seconds
+	Dur    float64
+	Bytes  int
+
+	// Wait-state fields, filled for comm events by the mpi runtime.
+	// Wait is how long the receiver sat blocked before its message(s)
+	// arrived (late sender); Queued is how long arrived messages sat
+	// unmatched before the receive was posted (late receiver). Peer is
+	// the rank responsible for the largest single wait inside the call,
+	// or -1 when the call never blocked.
+	Wait   float64
+	Queued float64
+	Peer   int
+}
+
+// End returns the event's end time.
+func (e Event) End() float64 { return e.Start + e.Dur }
+
+// Timeline is a per-rank event sequence: Timeline[r] holds rank r's
+// events in virtual-time order.
+type Timeline [][]Event
+
+// NP returns the number of ranks.
+func (tl Timeline) NP() int { return len(tl) }
+
+// sorted returns a copy of tl with each rank's events ordered by start
+// time (stable, so equal-start events keep record order). Recorders
+// append per rank in virtual-time order already; sorting defensively
+// keeps the analyzer correct on hand-built or parsed timelines.
+func (tl Timeline) sorted() Timeline {
+	out := make(Timeline, len(tl))
+	for r, evs := range tl {
+		cp := append([]Event(nil), evs...)
+		sort.SliceStable(cp, func(i, j int) bool { return cp[i].Start < cp[j].Start })
+		out[r] = cp
+	}
+	return out
+}

@@ -83,7 +83,7 @@ func BcastLatency(p *platform.Platform, np int, sizes []int) ([]Point, error) {
 // BiBandwidth runs osu_bibw: both ranks stream windows simultaneously;
 // reported value is the aggregate MB/s.
 func BiBandwidth(p *platform.Platform, sizes []int) ([]Point, error) {
-	w, err := twoNodeWorld(p, 0)
+	w, err := twoNodeWorld(p, Opts{})
 	if err != nil {
 		return nil, err
 	}

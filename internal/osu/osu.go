@@ -8,8 +8,23 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/platform"
+	"repro/internal/sim"
 )
+
+// Opts carries the optional knobs of a benchmark run. The zero value is
+// the seed-0 run with no observability attached.
+type Opts struct {
+	Seed uint64
+	// Tracer, when set, observes every event of the 2-rank world (e.g. a
+	// trace.Recorder exporting a Chrome timeline).
+	Tracer mpi.Tracer
+	// Metrics, when set, receives the mpi runtime's counters.
+	Metrics *obs.Registry
+	// Meter, when set, accumulates the run's virtual wall time.
+	Meter *sim.Meter
+}
 
 // Point is one benchmark sample.
 type Point struct {
@@ -35,12 +50,19 @@ const (
 
 // twoNodeWorld builds a 2-rank world with one rank per node, the OSU
 // configuration ("between two compute nodes").
-func twoNodeWorld(p *platform.Platform, seed uint64) (*mpi.World, error) {
+func twoNodeWorld(p *platform.Platform, o Opts) (*mpi.World, error) {
 	pl, err := cluster.Place(p, cluster.Spec{NP: 2, Nodes: 2, Policy: cluster.Spread})
 	if err != nil {
 		return nil, fmt.Errorf("osu: %w", err)
 	}
-	return mpi.NewWorld(p, pl, mpi.WithSeed(seed))
+	wopts := []mpi.Option{mpi.WithSeed(o.Seed)}
+	if o.Tracer != nil {
+		wopts = append(wopts, mpi.WithTracer(o.Tracer))
+	}
+	if o.Metrics != nil {
+		wopts = append(wopts, mpi.WithMetrics(o.Metrics))
+	}
+	return mpi.NewWorld(p, pl, wopts...)
 }
 
 // Bandwidth runs the osu_bw benchmark on p for the given message sizes and
@@ -52,12 +74,17 @@ func Bandwidth(p *platform.Platform, sizes []int) ([]Point, error) {
 // BandwidthSeeded is Bandwidth with an explicit jitter seed (repetition
 // index).
 func BandwidthSeeded(p *platform.Platform, sizes []int, seed uint64) ([]Point, error) {
-	w, err := twoNodeWorld(p, seed)
+	return BandwidthOpts(p, sizes, Opts{Seed: seed})
+}
+
+// BandwidthOpts is Bandwidth with full observability knobs.
+func BandwidthOpts(p *platform.Platform, sizes []int, o Opts) ([]Point, error) {
+	w, err := twoNodeWorld(p, o)
 	if err != nil {
 		return nil, err
 	}
 	results := make([]float64, len(sizes))
-	_, err = w.Run(func(c *mpi.Comm) error {
+	res, err := w.Run(func(c *mpi.Comm) error {
 		for si, n := range sizes {
 			if c.Rank() == 0 {
 				start := c.Clock()
@@ -88,6 +115,7 @@ func BandwidthSeeded(p *platform.Platform, sizes []int, seed uint64) ([]Point, e
 	if err != nil {
 		return nil, err
 	}
+	o.Meter.Add(res.Time)
 	points := make([]Point, len(sizes))
 	for i, n := range sizes {
 		points[i] = Point{Bytes: n, Value: results[i]}
@@ -103,12 +131,17 @@ func Latency(p *platform.Platform, sizes []int) ([]Point, error) {
 
 // LatencySeeded is Latency with an explicit jitter seed.
 func LatencySeeded(p *platform.Platform, sizes []int, seed uint64) ([]Point, error) {
-	w, err := twoNodeWorld(p, seed)
+	return LatencyOpts(p, sizes, Opts{Seed: seed})
+}
+
+// LatencyOpts is Latency with full observability knobs.
+func LatencyOpts(p *platform.Platform, sizes []int, o Opts) ([]Point, error) {
+	w, err := twoNodeWorld(p, o)
 	if err != nil {
 		return nil, err
 	}
 	results := make([]float64, len(sizes))
-	_, err = w.Run(func(c *mpi.Comm) error {
+	res, err := w.Run(func(c *mpi.Comm) error {
 		for si, n := range sizes {
 			if c.Rank() == 0 {
 				start := c.Clock()
@@ -130,6 +163,7 @@ func LatencySeeded(p *platform.Platform, sizes []int, seed uint64) ([]Point, err
 	if err != nil {
 		return nil, err
 	}
+	o.Meter.Add(res.Time)
 	points := make([]Point, len(sizes))
 	for i, n := range sizes {
 		points[i] = Point{Bytes: n, Value: results[i]}

@@ -1,0 +1,42 @@
+package sched
+
+import "repro/internal/obs"
+
+// schedMetrics holds the scheduler's observability handles. The zero
+// value (no registry) is all nil handles, which every obs method treats
+// as a no-op. Job counts by status and per-job virtual time are
+// deterministic; anything tied to wall clocks, worker count or queue
+// occupancy depends on real scheduling and registers volatile.
+type schedMetrics struct {
+	done, cached, failed, skipped *obs.Counter
+	cacheHits, cacheMisses        *obs.Counter
+	virtualNS                     *obs.Counter
+	jobVirtual                    *obs.Histogram
+
+	workers    *obs.Gauge     // volatile
+	queueDepth *obs.Histogram // volatile
+	jobWall    *obs.Histogram // volatile
+	busyNS     *obs.Counter   // volatile
+}
+
+func newSchedMetrics(r *obs.Registry) schedMetrics {
+	return schedMetrics{
+		done:    r.Counter("sched_jobs_done_total", "jobs that ran to completion"),
+		cached:  r.Counter("sched_jobs_cached_total", "jobs served from the result cache"),
+		failed:  r.Counter("sched_jobs_failed_total", "jobs that returned an error or panicked"),
+		skipped: r.Counter("sched_jobs_skipped_total", "jobs skipped after failures"),
+		cacheHits: r.Counter("sched_cache_hits_total",
+			"cache lookups that returned stored files"),
+		cacheMisses: r.Counter("sched_cache_misses_total",
+			"cache lookups that fell through to a run"),
+		virtualNS: r.Counter("sched_virtual_ns_total",
+			"simulated virtual ns attributed to executed jobs"),
+		jobVirtual: r.Histogram("sched_job_virtual_ns", "per-job virtual latency"),
+		workers:    r.VolatileGauge("sched_workers", "configured worker-pool size"),
+		queueDepth: r.VolatileHistogram("sched_queue_depth",
+			"ready-queue length observed at each job claim"),
+		jobWall: r.VolatileHistogram("sched_job_wall_ns", "per-job wall-clock latency"),
+		busyNS: r.VolatileCounter("sched_worker_busy_ns_total",
+			"wall-clock ns workers spent occupied by jobs (utilization numerator)"),
+	}
+}

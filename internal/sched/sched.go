@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -114,6 +115,10 @@ type Options struct {
 	KeepGoing bool
 	// OnEvent, when non-nil, receives serialized progress notifications.
 	OnEvent func(Event)
+	// Metrics, when non-nil, receives scheduler instrumentation: job
+	// counts by status, cache hit/miss, per-job wall and virtual
+	// latency, queue depth and worker utilization.
+	Metrics *obs.Registry
 }
 
 // Run executes the jobs respecting dependencies and returns one Result
@@ -173,6 +178,10 @@ func Run(jobs []Job, opt Options) ([]Result, error) {
 		settled:    make([]bool, n),
 		opt:        opt,
 	}
+	if opt.Metrics != nil {
+		s.met = newSchedMetrics(opt.Metrics)
+		s.met.workers.Set(int64(workers))
+	}
 	s.cond = sync.NewCond(&s.mu)
 	for i, d := range indeg {
 		if d == 0 {
@@ -218,6 +227,7 @@ type state struct {
 	eventMu sync.Mutex
 	results []Result
 	opt     Options
+	met     schedMetrics
 }
 
 // work is one worker's loop: claim a ready job, execute it, settle it.
@@ -235,6 +245,7 @@ func (s *state) work() {
 		i := s.ready[0]
 		s.ready = s.ready[1:]
 		aborting := s.aborting
+		s.met.queueDepth.Observe(int64(len(s.ready)))
 		s.mu.Unlock()
 
 		var res Result
@@ -254,13 +265,19 @@ func (s *state) execute(j *Job) Result {
 	start := time.Now()
 	if j.Key != nil && s.opt.Cache != nil {
 		if files, virtual, ok := s.opt.Cache.Get(*j.Key); ok {
+			s.met.cacheHits.Inc()
 			return Result{ID: j.ID, Status: Cached, Files: files,
 				Wall: time.Since(start), Virtual: virtual}
 		}
+		s.met.cacheMisses.Inc()
 	}
 	ctx := &Ctx{meter: &sim.Meter{}}
 	files, err := runRecovered(j, ctx)
 	res := Result{ID: j.ID, Wall: time.Since(start), Virtual: ctx.meter.Total()}
+	s.met.jobWall.Observe(res.Wall.Nanoseconds())
+	s.met.busyNS.Add(res.Wall.Nanoseconds())
+	s.met.jobVirtual.ObserveSeconds(res.Virtual)
+	s.met.virtualNS.AddSeconds(res.Virtual)
 	if err != nil {
 		res.Status = Failed
 		res.Err = err
@@ -287,6 +304,16 @@ func runRecovered(j *Job, ctx *Ctx) (files map[string][]byte, err error) {
 
 // settle records a result, releases or skips dependents and wakes workers.
 func (s *state) settle(i int, res Result) {
+	switch res.Status {
+	case Done:
+		s.met.done.Inc()
+	case Cached:
+		s.met.cached.Inc()
+	case Failed:
+		s.met.failed.Inc()
+	case Skipped:
+		s.met.skipped.Inc()
+	}
 	s.mu.Lock()
 	s.results[i] = res
 	s.settled[i] = true
@@ -327,6 +354,7 @@ func (s *state) skipDependents(i int, cause string, acc []int) []int {
 		}
 		s.results[d] = Result{ID: s.jobs[d].ID, Status: Skipped,
 			Err: fmt.Errorf("sched: dependency %s did not complete", cause)}
+		s.met.skipped.Inc()
 		s.settled[d] = true
 		s.nsettled++
 		acc = append(acc, d)

@@ -2,92 +2,112 @@
 // mpi runtime and exports them in the Chrome trace-event JSON format
 // (chrome://tracing, Perfetto), giving the visual per-process breakdown
 // the paper draws from IPM (its Figure 7) at full event resolution.
+// Recorded timelines also feed the obs wait-state and critical-path
+// analyzer via Timeline().
 package trace
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
-// Event is one timeline slice.
-type Event struct {
-	Rank   int
-	Name   string  // call or activity name
-	Kind   string  // "comm", "compute", "io"
-	Region string  // profiling region active at the time
-	Start  float64 // virtual seconds
-	Dur    float64
-	Bytes  int
+// Event is one timeline slice, aliased to the neutral obs.Event so the
+// analyzer consumes recorder output (and parsed Chrome files) through
+// one type without obs importing the runtime.
+type Event = obs.Event
+
+// rankTrace is one rank's private recording state. The tracer contract
+// guarantees calls for a rank are sequential, so the mutex only orders
+// that rank's appends against cross-goroutine readers (Events,
+// WriteChrome after the run) — ranks never contend with each other.
+type rankTrace struct {
+	mu     sync.Mutex
+	events []Event
+	region string
+	_      [64]byte // keep adjacent ranks' hot state off one cache line
 }
 
 // Recorder implements mpi.Tracer and accumulates events per rank.
 type Recorder struct {
-	mu     sync.Mutex
-	events [][]Event // per rank
-	region []string
+	ranks []rankTrace
 }
 
 var _ mpi.Tracer = (*Recorder)(nil)
 
 // New creates a recorder for np ranks.
 func New(np int) *Recorder {
-	return &Recorder{events: make([][]Event, np), region: make([]string, np)}
+	return &Recorder{ranks: make([]rankTrace, np)}
 }
+
+// NP returns the number of ranks the recorder was created for.
+func (r *Recorder) NP() int { return len(r.ranks) }
 
 // Call implements mpi.Tracer.
 func (r *Recorder) Call(rank int, rec mpi.CallRecord) {
-	r.append(rank, Event{
+	rt := &r.ranks[rank]
+	rt.mu.Lock()
+	rt.events = append(rt.events, Event{
 		Rank: rank, Name: rec.Name, Kind: "comm", Region: rec.Region,
 		Start: rec.Start, Dur: rec.Dur, Bytes: rec.Bytes,
+		Wait: rec.Wait, Queued: rec.Queued, Peer: rec.Peer,
 	})
+	rt.mu.Unlock()
 }
 
 // Advance implements mpi.Tracer.
 func (r *Recorder) Advance(rank int, kind string, start, dur float64) {
-	r.append(rank, Event{Rank: rank, Name: kind, Kind: kind, Region: r.regionOf(rank), Start: start, Dur: dur})
+	rt := &r.ranks[rank]
+	rt.mu.Lock()
+	rt.events = append(rt.events, Event{
+		Rank: rank, Name: kind, Kind: kind, Region: rt.region,
+		Start: start, Dur: dur, Peer: -1,
+	})
+	rt.mu.Unlock()
 }
 
 // Region implements mpi.Tracer.
 func (r *Recorder) Region(rank int, name string, at float64) {
-	r.mu.Lock()
-	r.region[rank] = name
-	r.mu.Unlock()
-}
-
-func (r *Recorder) regionOf(rank int) string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.region[rank]
-}
-
-func (r *Recorder) append(rank int, e Event) {
-	// Per-rank slices are only appended from that rank's goroutine, but
-	// the region map is shared; keep the lock for both for simplicity.
-	r.mu.Lock()
-	r.events[rank] = append(r.events[rank], e)
-	r.mu.Unlock()
+	rt := &r.ranks[rank]
+	rt.mu.Lock()
+	rt.region = name
+	rt.mu.Unlock()
 }
 
 // Events returns a copy of one rank's timeline.
 func (r *Recorder) Events(rank int) []Event {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return append([]Event(nil), r.events[rank]...)
+	rt := &r.ranks[rank]
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return append([]Event(nil), rt.events...)
 }
 
 // Count returns the total recorded events.
 func (r *Recorder) Count() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	n := 0
-	for _, ev := range r.events {
-		n += len(ev)
+	for rank := range r.ranks {
+		rt := &r.ranks[rank]
+		rt.mu.Lock()
+		n += len(rt.events)
+		rt.mu.Unlock()
 	}
 	return n
+}
+
+// Timeline snapshots the full recording for the obs analyzer.
+func (r *Recorder) Timeline() obs.Timeline {
+	tl := make(obs.Timeline, len(r.ranks))
+	for rank := range r.ranks {
+		tl[rank] = r.Events(rank)
+	}
+	return tl
 }
 
 // chromeEvent is the trace-event JSON schema ("X" = complete event).
@@ -104,30 +124,75 @@ type chromeEvent struct {
 
 // WriteChrome writes the whole timeline in Chrome trace-event format.
 // Virtual seconds map to trace microseconds so second-scale runs render
-// comfortably.
+// comfortably. Events stream to the encoder one at a time — memory stays
+// O(1) in the event count — ordered deterministically by (rank, start).
 func (r *Recorder) WriteChrome(w io.Writer) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	var all []chromeEvent
-	for rank, evs := range r.events {
-		for _, e := range evs {
-			ce := chromeEvent{
-				Name: e.Name, Cat: e.Kind, Ph: "X",
-				TS: e.Start * 1e6, Dur: e.Dur * 1e6,
-				PID: 0, TID: rank,
-			}
-			if e.Region != "" || e.Bytes > 0 {
-				ce.Args = map[string]string{}
-				if e.Region != "" {
-					ce.Args["region"] = e.Region
+	return writeChromeRuns(w, []*Recorder{r})
+}
+
+// writeChromeRuns streams one or more recordings, with the i-th
+// recording's events under pid i.
+func writeChromeRuns(w io.Writer, runs []*Recorder) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	for pid, rec := range runs {
+		for rank := range rec.ranks {
+			evs := rec.Events(rank)
+			sort.SliceStable(evs, func(i, j int) bool { return evs[i].Start < evs[j].Start })
+			for _, e := range evs {
+				ce := chromeEvent{
+					Name: e.Name, Cat: e.Kind, Ph: "X",
+					TS: e.Start * 1e6, Dur: e.Dur * 1e6,
+					PID: pid, TID: rank,
+					Args: chromeArgs(e),
 				}
-				if e.Bytes > 0 {
-					ce.Args["bytes"] = fmt.Sprintf("%d", e.Bytes)
+				b, err := json.Marshal(ce)
+				if err != nil {
+					return err
+				}
+				if !first {
+					if err := bw.WriteByte(','); err != nil {
+						return err
+					}
+				}
+				first = false
+				if _, err := bw.Write(b); err != nil {
+					return err
 				}
 			}
-			all = append(all, ce)
 		}
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(map[string]any{"traceEvents": all, "displayTimeUnit": "ms"})
+	if _, err := bw.WriteString("],\"displayTimeUnit\":\"ms\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// chromeArgs renders the event's metadata as string args. Wait-state
+// floats use strconv's shortest round-trippable form so obs can parse
+// them back exactly.
+func chromeArgs(e Event) map[string]string {
+	if e.Region == "" && e.Bytes <= 0 && e.Wait <= 0 && e.Queued <= 0 {
+		return nil
+	}
+	args := map[string]string{}
+	if e.Region != "" {
+		args["region"] = e.Region
+	}
+	if e.Bytes > 0 {
+		args["bytes"] = fmt.Sprintf("%d", e.Bytes)
+	}
+	if e.Wait > 0 {
+		args["wait"] = strconv.FormatFloat(e.Wait, 'g', -1, 64)
+		if e.Peer >= 0 {
+			args["peer"] = strconv.Itoa(e.Peer)
+		}
+	}
+	if e.Queued > 0 {
+		args["queued"] = strconv.FormatFloat(e.Queued, 'g', -1, 64)
+	}
+	return args
 }
