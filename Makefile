@@ -3,7 +3,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race fmt vet fuzz bench bench-smoke obs-smoke verify results clean
+.PHONY: all build test race fmt vet lint fuzz bench bench-smoke obs-smoke verify results clean
 
 all: build
 
@@ -19,6 +19,15 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Static-analysis gate: format, toolchain vet, a clean dependency surface
+# (go.mod must stay tidy and verifiable in the hermetic build), and the
+# reprolint suite (internal/analysis) proving the determinism, MPI-hygiene
+# and metrics-stability invariants. Non-zero on any finding.
+lint: fmt vet
+	$(GO) mod tidy -diff
+	$(GO) mod verify
+	$(GO) run ./cmd/reprolint ./...
 
 test:
 	$(GO) test ./...
@@ -70,10 +79,10 @@ obs-smoke: build
 	@rm -rf .obs-smoke
 	@echo "obs-smoke: manifests valid and deterministic across -j 1 / -j 8"
 
-# The full local gate: format, static checks, build, tests, race tests,
-# a short fuzz pass, the allocation-budget smoke, and the observability
-# smoke. Mirrors what CI would run.
-verify: fmt vet build test race fuzz bench-smoke obs-smoke
+# The full local gate: static analysis (format, vet, reprolint), build,
+# tests, race tests, a short fuzz pass, the allocation-budget smoke, and
+# the observability smoke. Mirrors what CI runs (.github/workflows/ci.yml).
+verify: lint build test race fuzz bench-smoke obs-smoke
 	@echo "verify: all gates passed"
 
 # Regenerate the committed seed artefacts (full sweep, seed 0).

@@ -78,7 +78,9 @@ func cmdTrace(args []string) {
 		fatal(err)
 	}
 	runs, err := obs.ParseChromeTrace(f)
-	f.Close()
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	if err != nil {
 		fatal(err)
 	}

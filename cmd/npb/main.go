@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -127,8 +128,13 @@ func main() {
 		if r.Status != sched.Done && r.Status != sched.Cached {
 			continue
 		}
-		for _, content := range r.Files {
-			fmt.Print(string(content))
+		names := make([]string, 0, len(r.Files))
+		for name := range r.Files {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Print(string(r.Files[name]))
 		}
 	}
 	if runErr != nil {

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Detmaprange flags `range` over a map when the loop body can make the
+// iteration order observable: writing to an output sink (Write*/Fprint*/
+// Print*/Error* calls, fmt.Sprintf/Errorf), returning a value built from
+// the loop variables, or accumulating floats (+= across map order is not
+// associative-safe and is the classic golden-file breaker). Loops that
+// only collect keys/values into a slice or another map are fine — the
+// expected idiom is collect, sort, then emit.
+var Detmaprange = &Analyzer{
+	Name: "detmaprange",
+	Doc: "flag map iteration whose order can reach artefact/report output " +
+		"or a float accumulation; collect keys and sort before emitting",
+	Run: runDetmaprange,
+}
+
+// sinkMethodPrefixes are callee-name prefixes that emit bytes somewhere a
+// reader (or a golden file) can see them.
+var sinkMethodPrefixes = []string{"Write", "Fprint", "Print", "Sprint", "Errorf", "AddRow"}
+
+func runDetmaprange(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if reason := orderObservable(pass, rs.Body); reason != "" {
+				pass.Reportf(rs.For,
+					"map iteration order reaches %s; collect the keys, sort, "+
+						"then emit (map order is randomised per process)", reason)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// orderObservable scans a map-range body for statements whose effect
+// depends on iteration order. It returns a short description of the
+// first offender ("" when the loop is order-safe).
+func orderObservable(pass *Pass, body *ast.BlockStmt) string {
+	var reason string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := calleeName(pass, v); ok && isSink(pass, v, name) {
+				reason = "an output call (" + name + ")"
+				return false
+			}
+		case *ast.ReturnStmt:
+			if len(v.Results) > 0 {
+				reason = "a return statement (first error/value depends on order)"
+				return false
+			}
+		case *ast.AssignStmt:
+			// x += f / x -= f on floats or strings accumulates in map
+			// order (float rounding is order-dependent; string concat is
+			// order itself). Targets declared inside the loop body are
+			// per-iteration locals — the aggregate-into-map idiom
+			// (agg := m[k]; agg.T += v; m[k] = agg) sums per key, not
+			// across keys — so only outer accumulators count.
+			if len(v.Lhs) == 1 && (v.Tok == token.ADD_ASSIGN || v.Tok == token.SUB_ASSIGN) {
+				if t := pass.TypeOf(v.Lhs[0]); t != nil && !declaredWithin(pass, v.Lhs[0], body) {
+					if b, ok := t.Underlying().(*types.Basic); ok &&
+						b.Info()&(types.IsFloat|types.IsString) != 0 {
+						reason = "an order-sensitive accumulation (float rounding / string concat)"
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// calleeName renders a call's target as "pkg.Func" or "Method" for sink
+// matching; ok=false for indirect calls.
+func calleeName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name, true
+	case *ast.SelectorExpr:
+		if fn := calleeObj(pass.Info, call); fn != nil && fn.Pkg() != nil {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+				return fn.Pkg().Name() + "." + fn.Name(), true
+			}
+		}
+		return fun.Sel.Name, true
+	}
+	return "", false
+}
+
+// isSink reports whether a call emits bytes somewhere order-observable.
+// fmt's value constructors (Sprint*, Errorf) build strings/errors rather
+// than emitting them — the value's journey to output is caught by the
+// return/accumulation rules instead.
+func isSink(pass *Pass, call *ast.CallExpr, name string) bool {
+	base := name
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		base = name[i+1:]
+	}
+	if fn := calleeObj(pass.Info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		if strings.HasPrefix(base, "Sprint") || base == "Errorf" {
+			return false
+		}
+	}
+	for _, p := range sinkMethodPrefixes {
+		if strings.HasPrefix(base, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// declaredWithin reports whether the base object of an lvalue expression
+// is declared inside the block (a per-iteration local).
+func declaredWithin(pass *Pass, lhs ast.Expr, body *ast.BlockStmt) bool {
+	for {
+		switch v := ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr:
+			lhs = v.X
+			continue
+		case *ast.IndexExpr:
+			lhs = v.X
+			continue
+		case *ast.StarExpr:
+			lhs = v.X
+			continue
+		case *ast.Ident:
+			obj := pass.Info.Uses[v]
+			if obj == nil {
+				obj = pass.Info.Defs[v]
+			}
+			return obj != nil && body.Pos() <= obj.Pos() && obj.Pos() <= body.End()
+		default:
+			return false
+		}
+	}
+}

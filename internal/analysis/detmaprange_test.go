@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestDetmaprangeOrderObservability(t *testing.T) {
+	RunFixture(t, Detmaprange, "testdata/src/detmaprange", "repro/internal/report")
+}

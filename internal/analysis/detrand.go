@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Detrand forbids nondeterministically-seeded randomness. The global
+// math/rand functions draw from a runtime-seeded source (and math/rand/v2
+// cannot even be seeded globally), so any use makes artefact bytes depend
+// on the process. rand.New is allowed only when the seed expression is
+// visibly deterministic: a constant, or traceable to an identifier whose
+// name marks it as a seed (the core.RunSpec.Seed convention — seeds derive
+// from stable identifiers, never from entropy). Model code should prefer
+// sim.RNG, the repository's splitmix64 stream.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid global math/rand functions and rand.New with a seed not " +
+		"traceable to a seed parameter or constant; use sim.RNG streams",
+	Run: runDetrand,
+}
+
+func runDetrand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeObj(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+			default:
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				// Methods on *rand.Rand / Source values are fine — the
+				// source's construction was already checked. Only the
+				// package-level convenience functions use the shared,
+				// runtime-seeded global.
+				return true
+			}
+			switch fn.Name() {
+			case "New", "NewSource", "NewPCG", "NewChaCha8":
+				if !deterministicSeed(call) {
+					pass.Reportf(call.Pos(),
+						"rand.%s seeded from a non-seed expression; thread a "+
+							"seed parameter (core.RunSpec.Seed) or use sim.NewRNG",
+						fn.Name())
+				}
+			default:
+				pass.Reportf(call.Pos(),
+					"global %s.%s draws from the runtime-seeded shared source; "+
+						"use a seeded rand.New or sim.NewRNG stream",
+					fn.Pkg().Path(), fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// deterministicSeed reports whether every argument of the constructor
+// call is visibly deterministic: constant literals, arithmetic over
+// them, or any identifier/selector whose name contains "seed" (any
+// case). Wall-clock seeding (time.Now().UnixNano()) never qualifies —
+// and is independently caught by detwall inside model packages.
+func deterministicSeed(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	for _, arg := range call.Args {
+		ok := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.BasicLit:
+				if v.Kind == token.INT || v.Kind == token.FLOAT || v.Kind == token.STRING {
+					ok = true
+				}
+			case *ast.Ident:
+				if strings.Contains(strings.ToLower(v.Name), "seed") {
+					ok = true
+				}
+			case *ast.SelectorExpr:
+				if strings.Contains(strings.ToLower(v.Sel.Name), "seed") {
+					ok = true
+					return false // don't descend into X: field name decides
+				}
+			}
+			return true
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

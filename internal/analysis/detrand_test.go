@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestDetrandSeedTraceability(t *testing.T) {
+	RunFixture(t, Detrand, "testdata/src/detrand", "repro/internal/fault")
+}

@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+func TestDetwallVirtualTimePackage(t *testing.T) {
+	RunFixture(t, Detwall, "testdata/src/detwall", "repro/internal/netmodel")
+}
+
+func TestDetwallAllowlistExemptsSchedExecute(t *testing.T) {
+	RunFixture(t, Detwall, "testdata/src/detwall", "repro/internal/sched")
+}

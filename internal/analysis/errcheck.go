@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errcheckMethods are method names whose error result is routinely
+// dropped by accident: half-written artefacts, lost flushes and silent
+// encoder failures all surface as corrupted results files rather than
+// failed commands. The list is deliberately narrow (I/O completion
+// points, not every error-returning call) to stay high-signal.
+var errcheckMethods = map[string]bool{
+	"Close": true, "Flush": true, "Sync": true,
+	"Encode": true, "WriteAll": true,
+}
+
+// errcheckFuncs are package-level functions with the same failure mode.
+var errcheckFuncs = map[string]bool{
+	"os.WriteFile": true, "os.MkdirAll": true, "os.Rename": true,
+	"os.Remove": true, "os.RemoveAll": true,
+	"io.Copy": true, "io.WriteString": true,
+}
+
+// Errcheck is the suite's errcheck-lite: in the command binaries and the
+// report renderer (the code that writes artefact bytes to disk), an
+// io/os/encoder completion call used as a bare statement must not drop
+// its error. Deferred calls are exempt — `defer f.Close()` on a read-only
+// file is idiomatic; write paths should close explicitly and check.
+var Errcheck = &Analyzer{
+	Name: "errcheck",
+	Doc: "unchecked errors on io/os/encoder completion calls in cmd/* and " +
+		"internal/report (statement position; defers exempt)",
+	Run: runErrcheck,
+}
+
+func errcheckScope(pkgPath string) bool {
+	return strings.HasPrefix(pkgPath, ModulePath+"/cmd/") ||
+		pkgPath == ModulePath+"/internal/report"
+}
+
+func runErrcheck(pass *Pass) error {
+	if !errcheckScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, returnsErr := errcheckTarget(pass, call)
+			if name == "" || !returnsErr {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s error is dropped; a failed %s loses bytes silently — "+
+					"check it (or assign to _ with a reason)", name, name)
+			return true
+		})
+	}
+	return nil
+}
+
+// errcheckTarget reports the watched callee's display name and whether
+// the call returns an error ("" when the call is not watched).
+func errcheckTarget(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn := calleeObj(pass.Info, call)
+	if fn == nil {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !lastResultIsError(sig) {
+		return "", false
+	}
+	if sig.Recv() != nil {
+		if errcheckMethods[fn.Name()] {
+			return fn.Name(), true
+		}
+		return "", false
+	}
+	if fn.Pkg() == nil {
+		return "", false
+	}
+	qual := fn.Pkg().Name() + "." + fn.Name()
+	if errcheckFuncs[qual] {
+		return qual, true
+	}
+	return "", false
+}
+
+func lastResultIsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestErrcheckCompletionCalls(t *testing.T) {
+	RunFixture(t, Errcheck, "testdata/src/errcheck", "repro/cmd/tool")
+}

@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+const mpiPkg = ModulePath + "/internal/mpi"
+
+// Mpireq enforces two MPI-hygiene rules outside the runtime itself:
+//
+//  1. Every *mpi.Request produced by Isend*/Irecv* must reach a
+//     Wait/Waitall. The check is flow-insensitive by design: a request is
+//     satisfied when its destination variable (or the slice it is stored
+//     into) later appears as an argument to any call or in a return —
+//     discarding the result, or binding it to a variable that is never
+//     handed anywhere, is the bug that leaks a posted receive and stalls
+//     the matching rank's virtual clock.
+//
+//  2. A *mpi.Comm must not be captured by a goroutine: each Comm is the
+//     per-rank endpoint whose clock advances only on its own rank's
+//     goroutine (Requests are documented "not safe for concurrent use").
+//     Cross-goroutine captures introduce real races that -race only
+//     catches when the schedule cooperates; the analyzer catches them
+//     always.
+var Mpireq = &Analyzer{
+	Name: "mpireq",
+	Doc: "require Isend/Irecv results to reach Wait/Waitall and forbid " +
+		"capturing *mpi.Comm in goroutines (outside internal/mpi)",
+	Run: runMpireq,
+}
+
+func runMpireq(pass *Pass) error {
+	if pass.Pkg.Path() == mpiPkg {
+		return nil // the runtime hands requests/comms across by design
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkRequests(pass, fd.Body)
+		}
+		checkGoCaptures(pass, f)
+	}
+	return nil
+}
+
+// isNonblockingPost reports whether call is Comm.Isend*/Irecv*.
+func isNonblockingPost(pass *Pass, call *ast.CallExpr) bool {
+	pkg, typ, method, ok := methodInfo(pass.Info, call)
+	if !ok || pkg != mpiPkg || typ != "Comm" {
+		return false
+	}
+	return strings.HasPrefix(method, "Isend") || strings.HasPrefix(method, "Irecv")
+}
+
+// checkRequests applies rule 1 inside one function body (function
+// literals are scanned as part of the enclosing body: the scope of a
+// request variable is what matters, not the syntactic nesting).
+func checkRequests(pass *Pass, body *ast.BlockStmt) {
+	// First pass: find every posted request and where its value lands.
+	type post struct {
+		call *ast.CallExpr
+		obj  types.Object // destination variable (slice or request), nil = discarded
+	}
+	var posts []post
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := v.X.(*ast.CallExpr); ok && isNonblockingPost(pass, call) {
+				posts = append(posts, post{call: call})
+				return false
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range v.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isNonblockingPost(pass, call) || i >= len(v.Lhs) {
+					continue
+				}
+				posts = append(posts, post{call: call, obj: destObj(pass, v.Lhs[i])})
+			}
+		}
+		return true
+	})
+	if len(posts) == 0 {
+		return
+	}
+
+	// Second pass: record every object that escapes into a call argument
+	// or a return statement — any of those count as "reached a Wait"
+	// (the callee may wait on the caller's behalf).
+	escaped := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			for _, arg := range v.Args {
+				markObjs(pass, arg, escaped)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range v.Results {
+				markObjs(pass, r, escaped)
+			}
+		}
+		return true
+	})
+
+	for _, p := range posts {
+		method := ""
+		if _, _, m, ok := methodInfo(pass.Info, p.call); ok {
+			method = m
+		}
+		switch {
+		case p.obj == nil:
+			pass.Reportf(p.call.Pos(),
+				"%s result discarded: the request never reaches Wait/Waitall, "+
+					"so the posted operation can never complete", method)
+		case !escaped[p.obj]:
+			pass.Reportf(p.call.Pos(),
+				"%s result stored in %q but %q never reaches a Wait/Waitall "+
+					"(or any call that could wait on it)", method, p.obj.Name(), p.obj.Name())
+		}
+	}
+}
+
+// destObj resolves the variable a request is stored into: the identifier
+// itself, or the base identifier for index expressions (reqs[i] = ...).
+// nil means the blank identifier or an untrackable destination.
+func destObj(pass *Pass, lhs ast.Expr) types.Object {
+	switch v := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if v.Name == "_" {
+			return nil
+		}
+		if o := pass.Info.Defs[v]; o != nil {
+			return o
+		}
+		return pass.Info.Uses[v]
+	case *ast.IndexExpr:
+		return destObj(pass, v.X)
+	case *ast.SelectorExpr:
+		// Stored into a struct field: assume a longer-lived protocol
+		// object that waits elsewhere; out of scope for a local check.
+		return pass.Info.Uses[v.Sel]
+	}
+	return nil
+}
+
+// markObjs records every identifier (including selector fields and index
+// bases) mentioned in an argument/return expression.
+func markObjs(pass *Pass, e ast.Expr, into map[types.Object]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if o := pass.Info.Uses[id]; o != nil {
+				into[o] = true
+			}
+			if o := pass.Info.Defs[id]; o != nil {
+				into[o] = true
+			}
+		}
+		return true
+	})
+}
+
+// checkGoCaptures applies rule 2: a `go` statement whose function (or
+// any of its arguments) references a *mpi.Comm from the enclosing scope.
+func checkGoCaptures(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		ast.Inspect(gs.Call, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, isVar := pass.Info.Uses[id].(*types.Var)
+			if !isVar || !isNamedType(obj.Type(), mpiPkg, "Comm") {
+				return true
+			}
+			// Only free variables count: a Comm-typed parameter of the
+			// goroutine's own literal was already reported where it was
+			// passed in.
+			if gs.Pos() <= obj.Pos() && obj.Pos() <= gs.End() {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"*mpi.Comm %q captured by a goroutine: a Comm advances its own "+
+					"rank's virtual clock and must stay on the rank's goroutine", id.Name)
+			return true
+		})
+		return true
+	})
+}

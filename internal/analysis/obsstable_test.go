@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestObsstableStableSnapshotContract(t *testing.T) {
+	RunFixture(t, Obsstable, "testdata/src/obsstable", "repro/internal/sched")
+}

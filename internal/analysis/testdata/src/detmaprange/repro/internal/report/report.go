@@ -1,0 +1,81 @@
+// Fixture: map iteration whose order can reach output.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EmitUnsorted prints artefact lines straight out of map order.
+func EmitUnsorted(rows map[string]float64) {
+	for name, v := range rows { // want `map iteration order reaches an output call \(fmt\.Printf\)`
+		fmt.Printf("%s,%g\n", name, v)
+	}
+}
+
+// BuildUnsorted concatenates in map order (string accumulation).
+func BuildUnsorted(rows map[string]float64) string {
+	var out string
+	for name := range rows { // want `order-sensitive accumulation`
+		out += name
+	}
+	return out
+}
+
+// SumUnsorted accumulates floats in map order.
+func SumUnsorted(rows map[string]float64) float64 {
+	var total float64
+	for _, v := range rows { // want `order-sensitive accumulation`
+		total += v
+	}
+	return total
+}
+
+// FirstError returns in map order, so the reported key is nondeterministic.
+func FirstError(rows map[string]float64) error {
+	for name, v := range rows { // want `map iteration order reaches a return statement`
+		if v < 0 {
+			return fmt.Errorf("negative value for %s", name)
+		}
+	}
+	return nil
+}
+
+// EmitSorted is the canonical fix: collect, sort, then emit.
+func EmitSorted(rows map[string]float64) string {
+	names := make([]string, 0, len(rows))
+	for name := range rows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s,%g\n", name, rows[name])
+	}
+	return b.String()
+}
+
+// AggregatePerKey shows the order-safe aggregate-into-map idiom: the
+// accumulator is a per-iteration local, so each key's sum is unaffected
+// by iteration order.
+func AggregatePerKey(rows map[string][]float64) map[string]float64 {
+	out := map[string]float64{}
+	for name, vs := range rows {
+		var sum float64
+		for _, v := range vs {
+			sum += v
+		}
+		out[name] = sum
+	}
+	return out
+}
+
+// CopyMap is plain key-by-key work with no observable order.
+func CopyMap(rows map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(rows))
+	for k, v := range rows {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,21 @@
+// Fixture: nondeterministically-seeded randomness in model code.
+package fault
+
+import (
+	"math/rand"
+	"os"
+)
+
+// Plan draws from every kind of source the analyzer distinguishes.
+func Plan(seed int64, nodeSeed uint64) []float64 {
+	bad := rand.Float64()              // want `global math/rand\.Float64 draws from the runtime-seeded shared source`
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand\.Shuffle draws from the runtime-seeded shared source`
+
+	entropy := rand.New(rand.NewSource(int64(os.Getpid()))) // want `rand\.New seeded from a non-seed expression` `rand\.NewSource seeded from a non-seed expression`
+
+	seeded := rand.New(rand.NewSource(seed))                  // ok: seed parameter
+	derived := rand.New(rand.NewSource(int64(nodeSeed) ^ 42)) // ok: seed-named operand
+	constant := rand.New(rand.NewSource(1))                   // ok: constant is deterministic
+
+	return []float64{bad, entropy.Float64(), seeded.Float64(), derived.Float64(), constant.Float64()}
+}

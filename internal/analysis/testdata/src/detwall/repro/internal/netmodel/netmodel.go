@@ -1,0 +1,37 @@
+// Fixture: wall-clock sources inside a virtual-time package.
+package netmodel
+
+import "time"
+
+// Latency mixes wall-clock reads into a model quantity — every forbidden
+// source must be reported.
+func Latency() float64 {
+	start := time.Now()             // want `time\.Now reads the wall clock`
+	d := time.Since(start)          // want `time\.Since reads the wall clock`
+	<-time.After(time.Millisecond)  // want `time\.After reads the wall clock`
+	t := time.NewTimer(time.Second) // want `time\.NewTimer reads the wall clock`
+	defer t.Stop()
+	time.Sleep(time.Microsecond) // want `time\.Sleep reads the wall clock`
+	return d.Seconds()
+}
+
+// DurationsOK shows that time.Duration values and arithmetic are fine:
+// only clock *sources* are forbidden.
+func DurationsOK(budget time.Duration) float64 {
+	deadline := budget + 3*time.Second
+	return deadline.Seconds()
+}
+
+// SuppressedOK carries an allow comment with a reason, so the finding is
+// silenced and audited in place.
+func SuppressedOK() time.Time {
+	//lint:allow reprolint/detwall fixture: documented wall read
+	return time.Now()
+}
+
+// SuppressedBad misspells the analyzer path (no reprolint/ prefix), which
+// is itself reported — and the finding it tried to silence survives.
+func SuppressedBad() time.Time {
+	//lint:allow detwall missing-prefix // want `malformed allow comment`
+	return time.Now() // want `time\.Now reads the wall clock`
+}

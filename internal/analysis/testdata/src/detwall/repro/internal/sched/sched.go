@@ -1,0 +1,16 @@
+// Fixture: the embedded allowlist exempts state.execute (the volatile
+// wall-latency series); everything else in the package is still checked.
+package sched
+
+import "time"
+
+type state struct{ last time.Time }
+
+func (s *state) execute() time.Duration {
+	s.last = time.Now() // allowlisted: repro/internal/sched state.execute
+	return time.Since(s.last)
+}
+
+func (s *state) settle() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}

@@ -1,0 +1,47 @@
+// Fixture: dropped errors on io/os/encoder completion calls in a command.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	f, err := os.Create("out.csv")
+	if err != nil {
+		return
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "x,y") // ok: diagnostics-grade write, not watched
+
+	w.Flush() // want `Flush error is dropped`
+	f.Close() // want `Close error is dropped`
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.Encode(map[string]int{"a": 1}) // want `Encode error is dropped`
+
+	os.WriteFile("copy.csv", []byte("x,y\n"), 0o644) // want `os\.WriteFile error is dropped`
+	os.MkdirAll("results", 0o755)                    // want `os\.MkdirAll error is dropped`
+
+	checked(f)
+}
+
+// checked shows the accepted shapes: explicit checks, assignment, defer.
+func checked(f *os.File) {
+	g, err := os.Create("ok.csv")
+	if err != nil {
+		return
+	}
+	defer g.Close() // ok: deferred close on a file is exempt
+
+	if _, err := io.WriteString(g, "row\n"); err != nil {
+		return
+	}
+	if err := g.Sync(); err != nil {
+		return
+	}
+	_ = f.Close() // ok: explicit discard is a visible decision
+}

@@ -1,0 +1,63 @@
+// Fixture: nonblocking-request hygiene and Comm goroutine capture.
+package osu
+
+import "repro/internal/mpi"
+
+// LeakDiscarded throws the request away entirely.
+func LeakDiscarded(c *mpi.Comm) {
+	c.IrecvN(0, 1) // want `IrecvN result discarded`
+}
+
+// LeakBlank binds to the blank identifier.
+func LeakBlank(c *mpi.Comm) {
+	_ = c.Irecv(0, 1, make([]float64, 4)) // want `Irecv result discarded`
+}
+
+// LeakUnwaited binds to a variable that never reaches a Wait.
+func LeakUnwaited(c *mpi.Comm) int {
+	r := c.IrecvN(0, 1) // want `IrecvN result stored in "r" but "r" never reaches a Wait`
+	_ = r
+	return c.Rank()
+}
+
+// WaitedOK is the straightforward post-then-wait pairing.
+func WaitedOK(c *mpi.Comm) int {
+	r := c.Irecv(0, 1, make([]float64, 4))
+	return c.Wait(r)
+}
+
+// WindowOK fills a request slice and drains it with Waitall — the
+// repository's bandwidth-window idiom.
+func WindowOK(c *mpi.Comm, n int) {
+	reqs := make([]*mpi.Request, 4)
+	for i := range reqs {
+		reqs[i] = c.IrecvN(0, i)
+	}
+	c.Waitall(reqs...)
+}
+
+// ReturnedOK hands the request to the caller, which owns the Wait.
+func ReturnedOK(c *mpi.Comm) *mpi.Request {
+	return c.IsendN(1, 0, 64)
+}
+
+// GoCapture leaks the rank's Comm into another goroutine.
+func GoCapture(c *mpi.Comm, done chan struct{}) {
+	go func() { // the capture is reported on the use inside the literal
+		c.Send(1, 0, nil) // want `\*mpi\.Comm "c" captured by a goroutine`
+		close(done)
+	}()
+}
+
+// GoArgCapture passes the Comm as a goroutine argument — same hazard.
+func GoArgCapture(c *mpi.Comm) {
+	go func(cc *mpi.Comm) {
+		cc.Barrier()
+	}(c) // want `\*mpi\.Comm "c" captured by a goroutine`
+}
+
+// GoOK spawns helper goroutines that never touch a Comm.
+func GoOK(c *mpi.Comm, results chan int) {
+	go func() { results <- 1 }()
+	c.Barrier()
+}

@@ -1,0 +1,25 @@
+// Stub of the obs metrics registry: constructor and feed signatures only.
+package obs
+
+type Registry struct{}
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+
+func (r *Registry) Counter(name, help string) *Counter         { return &Counter{} }
+func (r *Registry) Gauge(name, help string) *Gauge             { return &Gauge{} }
+func (r *Registry) Histogram(name, help string) *Histogram     { return &Histogram{} }
+func (r *Registry) VolatileCounter(name, help string) *Counter { return &Counter{} }
+func (r *Registry) VolatileGauge(name, help string) *Gauge     { return &Gauge{} }
+func (r *Registry) VolatileHistogram(name, help string) *Histogram {
+	return &Histogram{}
+}
+
+func (c *Counter) Add(n int64)                {}
+func (c *Counter) Inc()                       {}
+func (c *Counter) AddSeconds(s float64)       {}
+func (g *Gauge) Set(n int64)                  {}
+func (g *Gauge) SetMax(n int64)               {}
+func (h *Histogram) Observe(v int64)          {}
+func (h *Histogram) ObserveSeconds(s float64) {}

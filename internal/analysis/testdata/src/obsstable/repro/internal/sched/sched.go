@@ -1,0 +1,50 @@
+// Fixture: the stable-snapshot contract — stable metrics must not be fed
+// wall-clock or pool-traffic values.
+package sched
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+type metrics struct {
+	jobs     *obs.Counter   // stable: counts simulated jobs
+	jobWall  *obs.Histogram // stable by mistake — should be volatile
+	busy     *obs.Counter
+	poolHits *obs.Counter
+}
+
+func newMetrics(r *obs.Registry) *metrics {
+	return &metrics{
+		jobs:     r.Counter("sched_jobs_total", "jobs executed"),
+		jobWall:  r.Histogram("sched_job_wall_ns", "per-job wall latency"),
+		busy:     r.VolatileCounter("sched_busy_ns_total", "wall busy time"),
+		poolHits: r.Counter("mpi_pool_hits_total", "buffer pool hits"),
+	}
+}
+
+type result struct {
+	Wall    time.Duration
+	Virtual float64
+}
+
+func (m *metrics) record(res result, poolHitCount int64) {
+	m.jobs.Inc() // ok: simulated count into a stable counter
+
+	m.jobWall.Observe(res.Wall.Nanoseconds()) // want `stable metric "sched_job_wall_ns" fed from wall/pool-derived value Wall`
+
+	m.busy.Add(res.Wall.Nanoseconds()) // ok: volatile series may hold wall time
+
+	m.poolHits.Add(poolHitCount) // want `stable metric "mpi_pool_hits_total" fed from wall/pool-derived value poolHitCount`
+}
+
+func (m *metrics) timeDirect(start time.Time) {
+	m.jobs.AddSeconds(time.Since(start).Seconds()) // want `stable metric "sched_jobs_total" fed from time\.Since`
+}
+
+// localVar shows resolution through plain variables, not just fields.
+func localVar(r *obs.Registry, virtualSeconds float64) {
+	virt := r.Histogram("sched_job_virtual_seconds", "per-job virtual time")
+	virt.ObserveSeconds(virtualSeconds) // ok: virtual time is deterministic
+}

@@ -70,13 +70,24 @@ const (
 	IOBound      Class = "io-bound"
 )
 
+// callNames returns the profiled call labels in sorted order, so float
+// sums over the call map accumulate in a fixed sequence.
+func (w *WorkloadProfile) callNames() []string {
+	names := make([]string, 0, len(w.Calls))
+	for n := range w.Calls {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Classify labels the workload by its dominant resource; the paper's
 // related work found "scientific applications with minimal communications
 // and I/O make the best fit for cloud deployment".
 func (w *WorkloadProfile) Classify() Class {
 	var comm float64
-	for _, cs := range w.Calls {
-		comm += cs.Time
+	for _, name := range w.callNames() {
+		comm += w.Calls[name].Time
 	}
 	total := w.ComputeSeconds + w.IOSeconds + comm
 	if total == 0 {
@@ -181,7 +192,8 @@ func (w *WorkloadProfile) Predict(target *platform.Platform) Prediction {
 		link = target.Intra
 		share = 1
 	}
-	for name, cs := range w.Calls {
+	for _, name := range w.callNames() {
+		cs := w.Calls[name]
 		perRankEvents := float64(cs.Count) / float64(w.NP)
 		perRankBytes := float64(cs.Bytes) / float64(w.NP)
 		r := rounds(name, w.NP)

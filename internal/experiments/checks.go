@@ -3,6 +3,7 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"repro/internal/fault"
 	"repro/internal/npb"
@@ -89,8 +90,14 @@ func checkE3SerialCalibration(x *Ctx) ([]Check, error) {
 	var a checkAdder
 	fig3 := map[string]float64{"bt": 1696.9, "ep": 141.5, "cg": 244.9, "ft": 327.6,
 		"is": 8.6, "lu": 1514.7, "mg": 72.0, "sp": 1936.1}
+	kernels := make([]string, 0, len(fig3))
+	for name := range fig3 {
+		kernels = append(kernels, name)
+	}
+	sort.Strings(kernels)
 	worst := 0.0
-	for name, want := range fig3 {
+	for _, name := range kernels {
+		want := fig3[name]
 		got, err := x.runSkeleton(name, platform.DCC(), 1, npb.ClassB)
 		if err != nil {
 			return nil, err

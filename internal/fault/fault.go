@@ -63,8 +63,13 @@ func (p *Plan) Validate() error {
 	if p == nil {
 		return nil
 	}
-	for rank, ws := range p.Stragglers {
-		for _, w := range ws {
+	ranks := make([]int, 0, len(p.Stragglers))
+	for rank := range p.Stragglers {
+		ranks = append(ranks, rank)
+	}
+	sort.Ints(ranks)
+	for _, rank := range ranks {
+		for _, w := range p.Stragglers[rank] {
 			if w.End <= w.Start || w.Start < 0 {
 				return fmt.Errorf("fault: rank %d straggler window [%g,%g) invalid", rank, w.Start, w.End)
 			}

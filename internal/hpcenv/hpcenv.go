@@ -45,6 +45,16 @@ func NewFeatureSet(fs ...Feature) FeatureSet {
 // Has reports whether f is present.
 func (s FeatureSet) Has(f Feature) bool { return s[f] }
 
+// Sorted returns the set's features in deterministic order.
+func (s FeatureSet) Sorted() []Feature {
+	out := make([]Feature, 0, len(s))
+	for f := range s {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Missing returns the features of need absent from s, sorted.
 func (s FeatureSet) Missing(need FeatureSet) []Feature {
 	var out []Feature
@@ -182,7 +192,7 @@ func (c Compiler) Build(app string, host Host, opts BuildOptions) (Binary, error
 		if base == nil {
 			base = NewFeatureSet(SSE2, SSE3)
 		}
-		for f := range base {
+		for _, f := range base.Sorted() {
 			if !host.Features[f] {
 				return Binary{}, fmt.Errorf("hpcenv: building %s: host %s lacks requested feature %s", app, host.Name, f)
 			}

@@ -6,7 +6,19 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 )
+
+// sortedKeys returns a map's keys in deterministic order, so validation
+// reports the same first error regardless of map iteration order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // ManifestSchema identifies the manifest layout; Validate rejects
 // anything else, so readers never guess at fields.
@@ -76,7 +88,8 @@ func (m *Manifest) Validate() error {
 	if m.ModelVersion == "" {
 		return fmt.Errorf("manifest: missing model_version")
 	}
-	for name, sum := range m.Artefacts {
+	for _, name := range sortedKeys(m.Artefacts) {
+		sum := m.Artefacts[name]
 		if len(sum) != 64 {
 			return fmt.Errorf("manifest: artefact %q: hash length %d, want 64", name, len(sum))
 		}
@@ -84,11 +97,11 @@ func (m *Manifest) Validate() error {
 			return fmt.Errorf("manifest: artefact %q: bad hash: %w", name, err)
 		}
 	}
-	for name, met := range m.Metrics {
-		switch met.Kind {
+	for _, name := range sortedKeys(m.Metrics) {
+		switch m.Metrics[name].Kind {
 		case "counter", "gauge", "histogram":
 		default:
-			return fmt.Errorf("manifest: metric %q: unknown kind %q", name, met.Kind)
+			return fmt.Errorf("manifest: metric %q: unknown kind %q", name, m.Metrics[name].Kind)
 		}
 	}
 	if m.FaultDigest != "" {
