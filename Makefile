@@ -3,7 +3,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race fmt vet lint fuzz bench bench-smoke obs-smoke verify results clean
+.PHONY: all build test race fmt vet lint fuzz bench bench-smoke obs-smoke pdes-smoke verify results clean
 
 all: build
 
@@ -41,6 +41,8 @@ race:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFaultPlan -fuzztime $(FUZZTIME) ./internal/fault
 	$(GO) test -run '^$$' -fuzz FuzzSpotRun -fuzztime $(FUZZTIME) ./internal/arrive
+	$(GO) test -run '^$$' -fuzz FuzzEventQueue -fuzztime $(FUZZTIME) ./internal/pdes
+	$(GO) test -run '^$$' -fuzz FuzzEngine -fuzztime $(FUZZTIME) ./internal/pdes
 
 # Full microbenchmark run: measures the perfbench suite (ns/op, B/op,
 # allocs/op), checks allocation budgets, and rewrites BENCH_PR3.json with
@@ -79,10 +81,26 @@ obs-smoke: build
 	@rm -rf .obs-smoke
 	@echo "obs-smoke: manifests valid and deterministic across -j 1 / -j 8"
 
+# Runtime-parity gate: drive the npb CLI end-to-end under the race
+# detector on both execution engines and require byte-identical stdout.
+# The parity *test* suite already cross-validates the library layer; this
+# gate covers the flag plumbing (cmd -> core -> mpi -> pdes) the tests
+# cannot see.
+pdes-smoke: build
+	@g=$$($(GO) run -race ./cmd/npb -bench cg -class A -np 4,16 -runtime goroutine); \
+	p=$$($(GO) run -race ./cmd/npb -bench cg -class A -np 4,16 -runtime pdes); \
+	if [ "$$g" != "$$p" ]; then \
+		echo "pdes-smoke: goroutine and pdes outputs differ:"; \
+		echo "--- goroutine ---"; echo "$$g"; \
+		echo "--- pdes ---"; echo "$$p"; exit 1; \
+	fi
+	@echo "pdes-smoke: cli output identical across runtimes (race-clean)"
+
 # The full local gate: static analysis (format, vet, reprolint), build,
-# tests, race tests, a short fuzz pass, the allocation-budget smoke, and
-# the observability smoke. Mirrors what CI runs (.github/workflows/ci.yml).
-verify: lint build test race fuzz bench-smoke obs-smoke
+# tests, race tests, a short fuzz pass, the allocation-budget smoke, the
+# observability smoke, and the runtime-parity smoke. Mirrors what CI runs
+# (.github/workflows/ci.yml).
+verify: lint build test race fuzz bench-smoke obs-smoke pdes-smoke
 	@echo "verify: all gates passed"
 
 # Regenerate the committed seed artefacts (full sweep, seed 0).

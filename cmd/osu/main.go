@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/mpi"
 	"repro/internal/obs"
 	"repro/internal/osu"
 	"repro/internal/platform"
@@ -35,10 +36,15 @@ func main() {
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "number of benchmark jobs to run concurrently")
 	cacheDir := flag.String("cache", "", "result cache directory (empty: no cache)")
 	manifest := flag.String("manifest", "", "write a run-manifest JSON to this file")
+	runtimeName := flag.String("runtime", "", "mpi runtime: goroutine (default) or pdes")
 	sink := trace.AddFlag()
 	flag.Parse()
 	start := time.Now()
 
+	rt, err := mpi.RuntimeByName(*runtimeName)
+	if err != nil {
+		fatal(err)
+	}
 	platforms, err := expandPlatforms(*platName)
 	if err != nil {
 		fatal(err)
@@ -64,9 +70,15 @@ func main() {
 			id := fmt.Sprintf("osu-%s-%s", b, p.Name)
 			var key *sched.Key
 			if !sink.Active() {
+				params := fmt.Sprintf("platform=%s,sizes=default", p.Name)
+				if rt != mpi.Goroutine {
+					// Identical bytes either way, but keep cache entries
+					// per-runtime so one engine never serves the other's.
+					params += ",runtime=" + rt.String()
+				}
 				key = &sched.Key{
 					Experiment:   "osu-" + b,
-					Params:       fmt.Sprintf("platform=%s,sizes=default", p.Name),
+					Params:       params,
 					Seed:         *seed,
 					ModelVersion: core.ModelVersion,
 				}
@@ -77,7 +89,7 @@ func main() {
 				Run: func(ctx *sched.Ctx) (map[string][]byte, error) {
 					text, err := curve(p, b, osu.Opts{
 						Seed: *seed, Tracer: sink.Tracer(2), Metrics: reg,
-						Meter: ctx.Meter(),
+						Meter: ctx.Meter(), Runtime: rt,
 					})
 					if err != nil {
 						return nil, err
@@ -119,7 +131,7 @@ func main() {
 	if err := obs.WriteManifest(*manifest, &obs.Manifest{
 		Schema: obs.ManifestSchema, Binary: "osu",
 		ModelVersion: core.ModelVersion, Platform: *platName, Seed: *seed,
-		Knobs:          map[string]string{"bench": *bench},
+		Knobs:          map[string]string{"bench": *bench, "runtime": rt.String()},
 		VirtualSeconds: virtual,
 		WallSeconds:    time.Since(start).Seconds(),
 		Metrics:        reg.Snapshot(true),

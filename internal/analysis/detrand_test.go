@@ -5,3 +5,7 @@ import "testing"
 func TestDetrandSeedTraceability(t *testing.T) {
 	RunFixture(t, Detrand, "testdata/src/detrand", "repro/internal/fault")
 }
+
+func TestDetrandEventEngine(t *testing.T) {
+	RunFixture(t, Detrand, "testdata/src/detrand", "repro/internal/pdes")
+}

@@ -9,3 +9,7 @@ func TestDetwallVirtualTimePackage(t *testing.T) {
 func TestDetwallAllowlistExemptsSchedExecute(t *testing.T) {
 	RunFixture(t, Detwall, "testdata/src/detwall", "repro/internal/sched")
 }
+
+func TestDetwallEventEngine(t *testing.T) {
+	RunFixture(t, Detwall, "testdata/src/detwall", "repro/internal/pdes")
+}

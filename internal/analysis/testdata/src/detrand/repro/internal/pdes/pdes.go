@@ -1,0 +1,31 @@
+// Fixture: randomness in the event engine. Tie-breaking and worker
+// assignment must be pure functions of (time, rank, seq) — a random
+// tie-break would change rank resumption order run to run, which the
+// engine's determinism guarantee (and the oracle parity suite) forbids.
+package pdes
+
+import "math/rand"
+
+// TieBreak models the forbidden pattern: breaking virtual-time ties with
+// the shared runtime-seeded source.
+func TieBreak(a, b int) int {
+	if rand.Intn(2) == 0 { // want `global math/rand\.Intn draws from the runtime-seeded shared source`
+		return a
+	}
+	return b
+}
+
+// Jittered models an engine draw whose source is not traceable to a
+// seed: "events" is a count, not a seed-named identifier, so the
+// expression could just as well be entropy.
+func Jittered(events int) float64 {
+	src := rand.New(rand.NewSource(int64(events))) // want `rand\.New seeded from a non-seed expression` `rand\.NewSource seeded from a non-seed expression`
+	_ = src
+	return 0
+}
+
+// SeededOK shows the legitimate shape: a deterministic constant or a
+// threaded seed parameter.
+func SeededOK(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64()
+}

@@ -1,0 +1,29 @@
+// Fixture: the event engine is a virtual-time package — its scheduling
+// decisions must derive from the event queue's virtual clock, never the
+// host's. A wall-clock watchdog or grant timestamp here would make rank
+// resumption order depend on machine speed and break the engine's
+// byte-identical cross-runtime parity.
+package pdes
+
+import "time"
+
+// Dispatch models the tempting-but-forbidden patterns: stamping grants
+// with host time and pacing the dispatcher against the wall clock.
+func Dispatch(events []float64) float64 {
+	start := time.Now() // want `time\.Now reads the wall clock`
+	granted := 0.0
+	for _, at := range events {
+		granted = at
+	}
+	select {
+	case <-time.After(10 * time.Millisecond): // want `time\.After reads the wall clock`
+	default:
+	}
+	return granted + time.Since(start).Seconds() // want `time\.Since reads the wall clock`
+}
+
+// VirtualOK shows the legitimate shape: time only ever enters as the
+// events' own virtual timestamps and duration arithmetic.
+func VirtualOK(parkTime float64, budget time.Duration) float64 {
+	return parkTime + budget.Seconds()
+}

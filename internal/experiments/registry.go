@@ -129,6 +129,11 @@ func Registry() []Artefact {
 				t, err := x.TableE12Faults()
 				return tableFiles("fault1_e12_resilience", t, err)
 			}},
+		{ID: "pdes1", Kind: KindFigure, Desc: "NPB class B skeletons at 1k-16k ranks (PDES engine)",
+			Gen: func(x *Ctx) (map[string][]byte, error) {
+				fig, err := x.FigE13PDESScale()
+				return figureFiles("pdes1_e13_scale", fig, err)
+			}},
 	}
 }
 

@@ -47,8 +47,11 @@ type Comm struct {
 	nsplits int    // split generation counter for context derivation
 }
 
-func newComm(w *World, rank int, group []int) *Comm {
-	st := &rankState{
+// initComm initialises one rank's communicator handle and execution
+// state in place. World.Run carves both out of contiguous slabs, so a
+// world's per-rank state costs O(1) allocations, not O(np).
+func initComm(c *Comm, st *rankState, w *World, rank int, group []int) {
+	*st = rankState{
 		world:    w,
 		wrank:    rank,
 		clock:    w.incStart,
@@ -62,7 +65,7 @@ func newComm(w *World, rank int, group []int) *Comm {
 		}
 		st.throttles = w.faults.ThrottlesFor(rank)
 	}
-	return &Comm{st: st, ctx: 1, rank: rank, group: group}
+	*c = Comm{st: st, ctx: 1, rank: rank, group: group}
 }
 
 // killPanic aborts the current rank at its scheduled preemption time;
@@ -313,7 +316,7 @@ func (c *Comm) recvRaw(src, tag int) *message {
 		c.checkRank(src, "source")
 		wsrc = c.group[src]
 	}
-	m := c.st.world.inboxes[c.st.wrank].match(c.st.world, c.ctx, wsrc, tag)
+	m := c.st.world.inboxes[c.st.wrank].match(c.st.world, c.ctx, wsrc, tag, c.st.clock)
 	link := c.st.world.link(m.src, c.st.wrank)
 	st := c.st
 	met := &st.world.met

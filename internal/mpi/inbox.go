@@ -81,6 +81,7 @@ func (q *bucket) pop() *message {
 type inbox struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
+	rank    int // world rank of the consumer (the PDES engine's proc id)
 	buckets map[bucketKey]*bucket
 	slab    []bucket // arena for bucket structs, amortises short-lived worlds
 	npend   int      // queued, unmatched messages across all buckets
@@ -105,6 +106,50 @@ func newInbox() *inbox {
 	b := &inbox{}
 	b.cond = sync.NewCond(&b.mu)
 	return b
+}
+
+// inboxPool recycles inboxes — and the bucket maps, bucket arenas and
+// queue arrays hanging off them — across world lifetimes. Building and
+// tearing down worlds is the artefact scheduler's steady state (the
+// world-churn benchmark), and the inbox graph was most of its per-world
+// allocation.
+var inboxPool = sync.Pool{New: func() any { return newInbox() }}
+
+// leaseInboxes returns np pooled inboxes wired to their rank indices.
+func leaseInboxes(np int) []*inbox {
+	boxes := make([]*inbox, np)
+	for i := range boxes {
+		b := inboxPool.Get().(*inbox)
+		b.rank = i
+		boxes[i] = b
+	}
+	return boxes
+}
+
+// releaseInboxes recycles clean inboxes; one still holding unmatched
+// messages or unwound by an abort is shed to the GC instead, so a pooled
+// inbox is always empty and quiescent when leased.
+func releaseInboxes(boxes []*inbox) {
+	for _, b := range boxes {
+		if b != nil && b.reset() {
+			inboxPool.Put(b)
+		}
+	}
+}
+
+// reset prepares a clean inbox for reuse, reporting false when it is not
+// reusable. The bucket map and arena are retained: their queues are
+// empty (npend == 0), and keeping them is the point of the pool.
+func (b *inbox) reset() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.npend != 0 || b.aborted || b.waiting {
+		return false
+	}
+	b.seq = 0
+	b.scored = false
+	b.wctx, b.wsrc, b.wtag = 0, 0, 0
+	return true
 }
 
 func matches(m *message, ctx uint64, src, tag int) bool {
@@ -140,7 +185,14 @@ func (b *inbox) put(w *World, m *message) {
 			b.scored = false
 			w.exitBlocked()
 		}
-		b.cond.Signal()
+		if eng := w.engine(); eng != nil {
+			// The consumer is (or is about to be) parked in the engine;
+			// schedule its resumption at the message's arrival time. Lock
+			// order: inbox.mu, then the engine's mutex.
+			eng.Wake(b.rank, m.arrive)
+		} else {
+			b.cond.Signal()
+		}
 	}
 	b.mu.Unlock()
 }
@@ -184,6 +236,8 @@ func (b *inbox) take(ctx uint64, src, tag int) *message {
 // match blocks until a message matching (ctx, src, tag) is available,
 // removes it from its bucket and returns it. src/tag may be
 // AnySource/AnyTag; the communicator context always matches exactly.
+// now is the receiver's virtual clock at the blocking point; the PDES
+// engine parks the rank at that time (the goroutine runtime ignores it).
 //
 // After a rank failure, a receive that can still be satisfied proceeds
 // normally; match panics with abortPanic only once the world is
@@ -194,7 +248,8 @@ func (b *inbox) take(ctx uint64, src, tag int) *message {
 // any peer that could still send to it is runnable, so the set of
 // completed operations is the unique maximal one (the message-passing
 // program is a Kahn process network).
-func (b *inbox) match(w *World, ctx uint64, src, tag int) *message {
+func (b *inbox) match(w *World, ctx uint64, src, tag int, now float64) *message {
+	eng := w.engine()
 	b.mu.Lock()
 	for {
 		if m := b.take(ctx, src, tag); m != nil {
@@ -225,6 +280,16 @@ func (b *inbox) match(w *World, ctx uint64, src, tag int) *message {
 		if w.faults != nil && !b.scored {
 			b.scored = true
 			w.enterBlocked()
+		}
+		if eng != nil {
+			// Park in the engine with the inbox unlocked: the waking
+			// put must be able to take b.mu. A wake that lands between
+			// the unlock and the Park is absorbed by the engine's
+			// pending-wake flag, so the rank never sleeps through it.
+			b.mu.Unlock()
+			eng.Park(b.rank, now)
+			b.mu.Lock()
+			continue
 		}
 		b.cond.Wait()
 	}

@@ -178,6 +178,8 @@ func (w *World) RunResilient(cfg ResilientConfig, fn func(c *Comm) error) (*Resu
 			tracer:      w.tracer,
 			seed:        w.seed,
 			timeout:     w.timeout,
+			runtime:     w.runtime,
+			engWorkers:  w.engWorkers,
 			met:         w.met,
 			resil:       rs,
 			incStart:    start,
@@ -190,14 +192,12 @@ func (w *World) RunResilient(cfg ResilientConfig, fn func(c *Comm) error) (*Resu
 		if cfg.NewTracer != nil {
 			iw.tracer = cfg.NewTracer(inc)
 		}
-		iw.inboxes = make([]*inbox, iw.np)
-		for i := range iw.inboxes {
-			iw.inboxes[i] = newInbox()
-		}
+		iw.inboxes = leaseInboxes(iw.np)
 		res, err := iw.Run(fn)
 		if err == nil {
 			stats.Checkpoints = rs.count()
 			w.met.checkpoints.Add(int64(stats.Checkpoints))
+			iw.Release()
 			return res, stats, nil
 		}
 		var rf *RankFailedError

@@ -1,0 +1,141 @@
+package mpi
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/pdes"
+)
+
+// Runtime selects the execution engine that multiplexes a world's ranks.
+// Both runtimes execute the same rank programs over the same message
+// plane and cost models, and — because every workload in this repository
+// receives on explicit (source, tag) channels, making each run a Kahn
+// process network — they produce byte-identical virtual-time results.
+// The goroutine runtime is the small-np correctness oracle; the PDES
+// runtime is the scalable engine for worlds of 10k+ virtual ranks.
+type Runtime int
+
+const (
+	// Goroutine runs one OS-scheduled goroutine per rank, with receives
+	// blocking on condition variables. Simple and well-tested, but every
+	// rank occupies a goroutine stack and the OS scheduler decides the
+	// interleaving, which caps practical world sizes and leaves deadlock
+	// detection to a wall-clock watchdog.
+	Goroutine Runtime = iota
+	// PDES runs ranks as coroutines parked and resumed by a conservative
+	// discrete-event engine (package pdes): at most a bounded number of
+	// ranks execute concurrently, resumption follows a deterministic
+	// virtual-time event queue, and a world with every rank blocked is
+	// detected instantly instead of by timeout.
+	PDES
+)
+
+// String names the runtime the way the -runtime flags spell it.
+func (r Runtime) String() string {
+	switch r {
+	case Goroutine:
+		return "goroutine"
+	case PDES:
+		return "pdes"
+	}
+	return fmt.Sprintf("runtime(%d)", int(r))
+}
+
+// RuntimeByName parses a -runtime flag value ("" selects Goroutine).
+func RuntimeByName(s string) (Runtime, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "goroutine":
+		return Goroutine, nil
+	case "pdes", "event", "events":
+		return PDES, nil
+	}
+	return Goroutine, fmt.Errorf("mpi: unknown runtime %q (want goroutine or pdes)", s)
+}
+
+// WithRuntime selects the world's execution engine (default Goroutine).
+func WithRuntime(r Runtime) Option { return func(w *World) { w.runtime = r } }
+
+// WithEngineWorkers bounds how many ranks the PDES engine executes
+// concurrently (default GOMAXPROCS; values <= 0 restore the default).
+// The bound affects only wall-clock speed — results are identical at any
+// worker count, which the parity tests assert.
+func WithEngineWorkers(n int) Option { return func(w *World) { w.engWorkers = n } }
+
+// Runtime returns the world's configured execution engine.
+func (w *World) Runtime() Runtime { return w.runtime }
+
+// startEngine installs a fresh PDES engine for one Run. The engine is
+// per-Run state: each Run of a reusable world gets its own event queue
+// and proc table.
+func (w *World) startEngine() *pdes.Engine {
+	workers := w.engWorkers
+	if workers <= 0 {
+		// The whole point of the engine at 10k+ ranks is that only a
+		// handful of rank goroutines are runnable at once; default to the
+		// machine's parallelism rather than pdes.New's "unbounded".
+		workers = runtime.GOMAXPROCS(0)
+	}
+	eng := pdes.New(w.np, workers)
+	eng.OnStall(func(parked []int) { w.onStall(parked) })
+	w.eng.Store(eng)
+	return eng
+}
+
+// engine returns the Run-scoped PDES engine, or nil under the goroutine
+// runtime.
+func (w *World) engine() *pdes.Engine {
+	e, _ := w.eng.Load().(*pdes.Engine)
+	return e
+}
+
+// onStall handles the PDES engine's stall notification: every live rank
+// is parked on a receive that no delivered or future message can satisfy.
+// Under a fault plan this is the quiescence point — the scoreboard's
+// "maximal progress" rule — and the world aborts with the recorded rank
+// failure. Without one it is a genuine deadlock in the rank program; the
+// goroutine runtime would sit on it until the wall-clock watchdog fires,
+// the engine reports it immediately with each parked rank's wait
+// predicate.
+func (w *World) onStall(parked []int) {
+	w.sb.mu.Lock()
+	failed := w.sb.failed
+	w.sb.mu.Unlock()
+	if !failed {
+		var b strings.Builder
+		fmt.Fprintf(&b, "mpi: deadlock: %d rank(s) blocked with no runnable peer:", len(parked))
+		for i, r := range parked {
+			if i == 4 && len(parked) > 5 {
+				fmt.Fprintf(&b, " ... (%d more)", len(parked)-i)
+				break
+			}
+			bx := w.inboxes[r]
+			bx.mu.Lock()
+			src, tag := bx.wsrc, bx.wtag
+			bx.mu.Unlock()
+			fmt.Fprintf(&b, " rank %d waiting on (src=%d, tag=%d)", r, src, tag)
+		}
+		w.dl.mu.Lock()
+		if w.dl.err == nil {
+			w.dl.err = fmt.Errorf("%s", b.String())
+		}
+		w.dl.mu.Unlock()
+	}
+	w.abortAll()
+}
+
+// deadlock carries the PDES engine's deadlock diagnosis from the stall
+// handler to Run's result path.
+type deadlock struct {
+	mu  sync.Mutex
+	err error
+}
+
+// deadlockErr returns the recorded deadlock diagnosis, if any.
+func (w *World) deadlockErr() error {
+	w.dl.mu.Lock()
+	defer w.dl.mu.Unlock()
+	return w.dl.err
+}

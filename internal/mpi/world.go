@@ -20,6 +20,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -70,6 +71,11 @@ type World struct {
 	tracer  Tracer
 	seed    uint64
 	timeout time.Duration
+
+	runtime    Runtime      // execution engine (Goroutine or PDES)
+	engWorkers int          // PDES concurrency bound; <= 0 = GOMAXPROCS
+	eng        atomic.Value // *pdes.Engine for the Run in flight (PDES only)
+	dl         deadlock     // engine-detected deadlock diagnosis
 
 	met worldMetrics // observability handles; zero value = metering off
 
@@ -156,6 +162,11 @@ func (w *World) abortAll() {
 		b.mu.Unlock()
 		b.cond.Broadcast()
 	}
+	if eng := w.engine(); eng != nil {
+		// Parked PDES ranks sleep in the engine, not on the inbox conds;
+		// requeue all of them so each re-checks its inbox and unwinds.
+		eng.WakeAll()
+	}
 }
 
 // Option configures a World.
@@ -202,11 +213,20 @@ func NewWorld(p *platform.Platform, pl *cluster.Placement, opts ...Option) (*Wor
 	for _, o := range opts {
 		o(w)
 	}
-	w.inboxes = make([]*inbox, w.np)
-	for i := range w.inboxes {
-		w.inboxes[i] = newInbox()
-	}
+	w.inboxes = leaseInboxes(w.np)
 	return w, nil
+}
+
+// Release returns the world's pooled resources (inboxes and their bucket
+// structures) for reuse by future worlds. The world is unusable
+// afterwards. Only clean inboxes are recycled — a world holding
+// unmatched messages or unwound by an abort sheds its inboxes to the GC
+// instead. RunOn, core.Execute and the resilient loop release completed
+// worlds automatically; long-lived worlds that are Run repeatedly simply
+// never call it.
+func (w *World) Release() {
+	releaseInboxes(w.inboxes)
+	w.inboxes = nil
 }
 
 // Size returns the number of ranks in the world.
@@ -229,14 +249,26 @@ type Result struct {
 // Run executes fn once per rank and returns the aggregated result. Any
 // rank returning an error or panicking fails the whole run.
 func (w *World) Run(fn func(c *Comm) error) (*Result, error) {
-	comms := make([]*Comm, w.np)
+	// Per-rank state is carved out of two contiguous slabs: one Run of an
+	// np-rank world costs two allocations for all its communicator
+	// handles instead of 2*np, which is what the world-churn benchmark
+	// measures.
+	states := make([]rankState, w.np)
+	comms := make([]Comm, w.np)
 	group := make([]int, w.np)
 	for r := 0; r < w.np; r++ {
 		group[r] = r
 	}
 	for r := 0; r < w.np; r++ {
-		comms[r] = newComm(w, r, group)
+		initComm(&comms[r], &states[r], w, r, group)
 	}
+	w.dl.mu.Lock()
+	w.dl.err = nil
+	w.dl.mu.Unlock()
+	if w.runtime == PDES {
+		w.startEngine()
+	}
+	eng := w.engine()
 
 	errs := make([]error, w.np)
 	w.sb.mu.Lock()
@@ -250,6 +282,9 @@ func (w *World) Run(fn func(c *Comm) error) (*Result, error) {
 			defer func() {
 				p := recover()
 				w.rankStopped()
+				if eng != nil {
+					eng.Done(rank)
+				}
 				switch p.(type) {
 				case nil:
 				case killPanic:
@@ -262,8 +297,14 @@ func (w *World) Run(fn func(c *Comm) error) (*Result, error) {
 					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
 				}
 			}()
-			errs[rank] = fn(comms[rank])
+			if eng != nil {
+				eng.Enter(rank)
+			}
+			errs[rank] = fn(&comms[rank])
 		}(r)
+	}
+	if eng != nil {
+		eng.Go()
 	}
 
 	done := make(chan struct{})
@@ -280,6 +321,9 @@ func (w *World) Run(fn func(c *Comm) error) (*Result, error) {
 	w.sb.mu.Unlock()
 	if failed {
 		return nil, &RankFailedError{Rank: failRank, Node: failNode, At: failAt}
+	}
+	if dlerr := w.deadlockErr(); dlerr != nil {
+		return nil, dlerr
 	}
 	for r, err := range errs {
 		if err != nil {
@@ -314,7 +358,11 @@ func RunOn(p *platform.Platform, np int, fn func(c *Comm) error, opts ...Option)
 	if err != nil {
 		return nil, err
 	}
-	return w.Run(fn)
+	res, err := w.Run(fn)
+	if err == nil {
+		w.Release()
+	}
+	return res, err
 }
 
 // tee fans tracer callbacks out to multiple tracers.

@@ -24,6 +24,8 @@ type Opts struct {
 	Metrics *obs.Registry
 	// Meter, when set, accumulates the run's virtual wall time.
 	Meter *sim.Meter
+	// Runtime selects the mpi execution engine (default mpi.Goroutine).
+	Runtime mpi.Runtime
 }
 
 // Point is one benchmark sample.
@@ -61,6 +63,9 @@ func twoNodeWorld(p *platform.Platform, o Opts) (*mpi.World, error) {
 	}
 	if o.Metrics != nil {
 		wopts = append(wopts, mpi.WithMetrics(o.Metrics))
+	}
+	if o.Runtime != mpi.Goroutine {
+		wopts = append(wopts, mpi.WithRuntime(o.Runtime))
 	}
 	return mpi.NewWorld(p, pl, wopts...)
 }
@@ -115,6 +120,7 @@ func BandwidthOpts(p *platform.Platform, sizes []int, o Opts) ([]Point, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.Release()
 	o.Meter.Add(res.Time)
 	points := make([]Point, len(sizes))
 	for i, n := range sizes {
@@ -163,6 +169,7 @@ func LatencyOpts(p *platform.Platform, sizes []int, o Opts) ([]Point, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.Release()
 	o.Meter.Add(res.Time)
 	points := make([]Point, len(sizes))
 	for i, n := range sizes {

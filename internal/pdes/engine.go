@@ -1,0 +1,255 @@
+package pdes
+
+import (
+	"fmt"
+	"sync"
+)
+
+// procState tracks where one rank coroutine is in the park/grant cycle.
+type procState uint8
+
+const (
+	// stateReady: the proc has exactly one resume event in the queue and
+	// is waiting for a grant.
+	stateReady procState = iota
+	// stateRunning: the proc holds a grant and is executing (it may be
+	// anywhere in its program, including about to call Park).
+	stateRunning
+	// stateParked: the proc is suspended in Park with no resume event
+	// queued; only a Wake (or WakeAll) can make it ready again.
+	stateParked
+	// stateDone: the proc's coroutine has finished; it never runs again.
+	stateDone
+)
+
+// proc is the engine's record of one rank coroutine: the materialised
+// "resumable state machine". The coroutine's program counter and pending
+// operation live on its (parked) goroutine stack; the engine's view is
+// the state tag, the virtual time it parked at, and the one-shot grant
+// gate it resumes through.
+type proc struct {
+	state    procState
+	parkTime float64 // rank's virtual clock when it last parked
+
+	// pendingWake absorbs the race between a rank announcing it will
+	// park (publishing its receive predicate under the inbox lock) and
+	// the Park call itself: a Wake arriving in that window is recorded
+	// here and consumed by Park, which then re-enters through the event
+	// queue like any other wake. wakeAt carries the wake's virtual time.
+	pendingWake bool
+	wakeAt      float64
+
+	// gate delivers grants. Buffered: a grant issued before the
+	// coroutine reaches its receive (initial dispatch, or the
+	// pendingWake path) is held until consumed, so the dispatcher never
+	// blocks on a slow coroutine.
+	gate chan struct{}
+}
+
+// Engine multiplexes n rank coroutines over at most `workers` of them
+// running concurrently. Ranks call Enter once, then Park every time they
+// block; message deliveries call Wake. The engine resumes parked ranks
+// in deterministic event-queue order, so any workers value (including 1)
+// produces the same execution.
+type Engine struct {
+	mu      sync.Mutex
+	q       Queue
+	procs   []proc
+	workers int
+	running int    // procs holding a grant
+	live    int    // procs not yet Done
+	seq     uint64 // next event creation stamp
+
+	// onStall is invoked (on a fresh goroutine, no locks held) when no
+	// proc is running or runnable but live procs remain parked — the
+	// world is deadlocked or, under fault injection, quiescent. The
+	// argument lists the parked ranks in ascending order.
+	onStall func(parked []int)
+	stalled bool // one stall notification per drain
+}
+
+// New creates an engine for n ranks with the given concurrency bound
+// (workers <= 0 means unbounded: every runnable proc is granted). Every
+// rank starts ready with a resume event at virtual time 0.
+func New(n, workers int) *Engine {
+	if n <= 0 {
+		panic(fmt.Sprintf("pdes: engine needs at least one proc, got %d", n))
+	}
+	if workers <= 0 || workers > n {
+		workers = n
+	}
+	e := &Engine{procs: make([]proc, n), workers: workers, live: n}
+	for r := range e.procs {
+		e.procs[r].gate = make(chan struct{}, 1)
+		e.q.Push(Event{Time: 0, Rank: r, Seq: e.seq})
+		e.seq++
+	}
+	return e
+}
+
+// OnStall registers the stall handler. Must be called before Go.
+func (e *Engine) OnStall(fn func(parked []int)) { e.onStall = fn }
+
+// Workers returns the engine's concurrency bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Go starts dispatching: up to `workers` ranks receive their initial
+// grants. Rank coroutines may call Enter before or after Go.
+func (e *Engine) Go() {
+	e.mu.Lock()
+	e.dispatchLocked()
+	e.mu.Unlock()
+}
+
+// Enter blocks the calling rank coroutine until its first grant. Each
+// rank must call it exactly once, before doing any work.
+func (e *Engine) Enter(rank int) {
+	<-e.procs[rank].gate
+}
+
+// Park suspends the calling rank at virtual time `now` until a Wake
+// schedules it and the dispatcher grants it again. The caller must have
+// published its wake condition (e.g. the mpi receive predicate) before
+// calling Park; a Wake that raced ahead is absorbed by pendingWake and
+// the rank re-enters through the event queue without ever sleeping.
+func (e *Engine) Park(rank int, now float64) {
+	e.mu.Lock()
+	p := &e.procs[rank]
+	if p.state != stateRunning {
+		e.mu.Unlock()
+		panic(fmt.Sprintf("pdes: Park(%d) in state %d", rank, p.state))
+	}
+	p.parkTime = now
+	if p.pendingWake {
+		// The wake already happened: yield through the queue so the
+		// resume order stays deterministic, but never sleep unwoken.
+		p.pendingWake = false
+		at := p.wakeAt
+		if now > at {
+			at = now
+		}
+		p.state = stateReady
+		e.q.Push(Event{Time: at, Rank: rank, Seq: e.seq})
+		e.seq++
+	} else {
+		p.state = stateParked
+	}
+	e.running--
+	e.dispatchLocked()
+	e.checkStallLocked()
+	e.mu.Unlock()
+	<-p.gate
+}
+
+// Wake schedules rank to resume, at virtual time no earlier than `at`
+// (the arrival time of the input it blocked on). Waking a running proc
+// records a pending wake; waking a ready or done proc is a no-op.
+func (e *Engine) Wake(rank int, at float64) {
+	e.mu.Lock()
+	p := &e.procs[rank]
+	switch p.state {
+	case stateRunning:
+		if !p.pendingWake || at > p.wakeAt {
+			p.wakeAt = at
+		}
+		p.pendingWake = true
+	case stateParked:
+		if p.parkTime > at {
+			at = p.parkTime
+		}
+		p.state = stateReady
+		e.q.Push(Event{Time: at, Rank: rank, Seq: e.seq})
+		e.seq++
+		e.dispatchLocked()
+	case stateReady, stateDone:
+		// Already scheduled, or finished: nothing to do.
+	}
+	e.mu.Unlock()
+}
+
+// WakeAll schedules every parked proc to resume at its own park time and
+// marks running procs with a pending wake, so each live proc re-checks
+// its blocking condition at least once more. Used to drain a world being
+// aborted.
+func (e *Engine) WakeAll() {
+	e.mu.Lock()
+	for r := range e.procs {
+		p := &e.procs[r]
+		switch p.state {
+		case stateRunning:
+			if !p.pendingWake || p.parkTime > p.wakeAt {
+				p.wakeAt = p.parkTime
+			}
+			p.pendingWake = true
+		case stateParked:
+			p.state = stateReady
+			e.q.Push(Event{Time: p.parkTime, Rank: r, Seq: e.seq})
+			e.seq++
+		}
+	}
+	e.dispatchLocked()
+	e.mu.Unlock()
+}
+
+// Done retires the calling rank's proc: its coroutine has returned (or
+// is unwinding) and will never park again. Must be called exactly once
+// per rank, from the coroutine itself while it holds its grant.
+func (e *Engine) Done(rank int) {
+	e.mu.Lock()
+	p := &e.procs[rank]
+	if p.state != stateRunning {
+		e.mu.Unlock()
+		panic(fmt.Sprintf("pdes: Done(%d) in state %d", rank, p.state))
+	}
+	p.state = stateDone
+	p.pendingWake = false
+	e.running--
+	e.live--
+	e.dispatchLocked()
+	e.checkStallLocked()
+	e.mu.Unlock()
+}
+
+// dispatchLocked grants queued events to their procs while worker slots
+// are free. Caller holds e.mu.
+func (e *Engine) dispatchLocked() {
+	for e.running < e.workers && e.q.Len() > 0 {
+		ev := e.q.Pop()
+		p := &e.procs[ev.Rank]
+		if p.state != stateReady {
+			panic(fmt.Sprintf("pdes: queued event for rank %d in state %d", ev.Rank, p.state))
+		}
+		if ev.Time < p.parkTime {
+			// Causality guard: a rank never resumes earlier than the
+			// virtual time it parked at (Wake and Park both clamp).
+			panic(fmt.Sprintf("pdes: rank %d resumed at t=%g before its park at t=%g",
+				ev.Rank, ev.Time, p.parkTime))
+		}
+		p.state = stateRunning
+		e.running++
+		e.stalled = false
+		p.gate <- struct{}{}
+	}
+}
+
+// checkStallLocked fires the stall handler when nothing is running or
+// runnable but live procs remain: every one of them is parked on an
+// input that no longer has a producer. Caller holds e.mu; the handler
+// runs on its own goroutine with no engine lock held, so it may call
+// back into Wake/WakeAll.
+func (e *Engine) checkStallLocked() {
+	if e.running > 0 || e.q.Len() > 0 || e.live == 0 || e.stalled {
+		return
+	}
+	e.stalled = true
+	if e.onStall == nil {
+		return
+	}
+	var parked []int
+	for r := range e.procs {
+		if e.procs[r].state == stateParked {
+			parked = append(parked, r)
+		}
+	}
+	go e.onStall(parked)
+}

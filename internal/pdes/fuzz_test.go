@@ -1,0 +1,106 @@
+package pdes
+
+import (
+	"testing"
+)
+
+// FuzzEventQueue drives the queue with an arbitrary interleaving of
+// pushes and pops decoded from the fuzz input and checks it against a
+// model: every pop returns a live event that is minimal (under
+// Event.Less) among the events currently queued, and a full drain at the
+// end comes out exactly sorted.
+func FuzzEventQueue(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{255, 0, 255, 0, 7, 7, 7})
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 1, 1, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q Queue
+		var seq uint64
+		live := map[Event]int{} // multiset of queued events
+		nlive := 0
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], data[i+1]
+			if op%4 == 0 && nlive > 0 {
+				e := q.Pop()
+				if live[e] == 0 {
+					t.Fatalf("popped %+v which is not queued", e)
+				}
+				live[e]--
+				nlive--
+				if m, ok := q.Min(); ok && m.Less(e) {
+					t.Fatalf("popped %+v but %+v was queued and smaller", e, m)
+				}
+			} else {
+				// Narrow domains on time and rank so ties are common and
+				// the (rank, seq) tie-break carries real weight.
+				e := Event{Time: float64(arg % 5), Rank: int(arg % 7), Seq: seq}
+				seq++
+				q.Push(e)
+				live[e]++
+				nlive++
+			}
+		}
+		if q.Len() != nlive {
+			t.Fatalf("queue length %d, model has %d live events", q.Len(), nlive)
+		}
+		var prev Event
+		for i := 0; q.Len() > 0; i++ {
+			e := q.Pop()
+			if i > 0 && e.Less(prev) {
+				t.Fatalf("drain out of order: %+v after %+v", e, prev)
+			}
+			if live[e] == 0 {
+				t.Fatalf("drained %+v which is not queued", e)
+			}
+			live[e]--
+			prev = e
+		}
+		for e, n := range live {
+			if n != 0 {
+				t.Fatalf("event %+v pushed but never popped", e)
+			}
+		}
+	})
+}
+
+// decodeScripts turns fuzz bytes into rank scripts for the toy runtime.
+// Destinations are decoded mod np and self-sends/self-receives are
+// redirected, so every input is a valid (if possibly deadlocking or
+// dying) program.
+func decodeScripts(data []byte, np int) [][]toyOp {
+	scripts := make([][]toyOp, np)
+	for i := 0; i+2 < len(data); i += 3 {
+		rank := int(data[i]) % np
+		kind := toyOpKind(data[i+1] % 4)
+		dst := int(data[i+2]) % np
+		if dst == rank {
+			dst = (dst + 1) % np
+		}
+		op := toyOp{Kind: kind, Dst: dst, Dt: float64(data[i+2]%8) * 0.25}
+		scripts[rank] = append(scripts[rank], op)
+	}
+	return scripts
+}
+
+// FuzzEngine runs arbitrary toy programs — including ones that deadlock
+// or kill ranks mid-script — under the engine at one worker and at four,
+// and requires that (a) both terminate (stall detection must catch every
+// quiescent state, or wg.Wait would hang the fuzzer) and (b) final
+// clocks and per-rank progress are identical: the KPN determinism
+// promise under adversarial schedules and failures.
+func FuzzEngine(f *testing.F) {
+	// A clean ring, a deadlock, an early death, and tie-heavy traffic.
+	f.Add([]byte{0, 1, 1, 1, 2, 0, 2, 1, 3, 3, 2, 0})
+	f.Add([]byte{0, 2, 1, 1, 2, 0})
+	f.Add([]byte{0, 3, 0, 1, 2, 0, 2, 1, 3})
+	f.Add([]byte{0, 1, 1, 1, 1, 2, 2, 1, 3, 3, 1, 0, 0, 2, 3, 3, 2, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const np = 4
+		scripts := decodeScripts(data, np)
+		ref := runToy(scripts, 1)
+		got := runToy(scripts, 4)
+		if !sameResult(ref, got) {
+			t.Fatalf("workers=1 vs 4 diverged on %x:\n ref %+v\n got %+v", data, ref, got)
+		}
+	})
+}

@@ -1,0 +1,106 @@
+// Package pdes provides the conservative parallel-discrete-event engine
+// behind the mpi package's event-driven runtime. The simulated ranks of a
+// world are coroutines multiplexed over a small, bounded set of OS
+// threads; a deterministic event queue decides which parked rank resumes
+// next, ordered by virtual time with (rank, seq) tie-breaking so the
+// resume sequence — and therefore every observable result — is identical
+// at any worker count.
+//
+// The engine is conservative in the Kahn-process-network sense: a rank is
+// resumed only when the input it blocked on actually exists (or the world
+// is being aborted), so no speculative execution and no rollback ever
+// happen. Virtual timestamps are data computed by the rank programs
+// themselves; the queue uses them as a scheduling priority, not as a
+// global-clock barrier, which is sound because the mpi layer's receives
+// block on explicit (source, tag) channels whose contents do not depend
+// on execution order.
+package pdes
+
+// Event schedules the resumption of one rank. Time is the virtual time
+// the rank becomes runnable (the maximum of its clock when it parked and
+// the arrival time of the input that woke it); Rank identifies the
+// coroutine; Seq is an engine-issued creation stamp that makes the order
+// total. All three components are deterministic functions of the
+// simulated program, never of wall-clock scheduling.
+type Event struct {
+	Time float64
+	Rank int
+	Seq  uint64
+}
+
+// Less is the queue's strict total order: virtual time, then rank, then
+// creation stamp. Two distinct events never compare equal because Seq is
+// unique per queue.
+func (e Event) Less(o Event) bool {
+	if e.Time != o.Time {
+		return e.Time < o.Time
+	}
+	if e.Rank != o.Rank {
+		return e.Rank < o.Rank
+	}
+	return e.Seq < o.Seq
+}
+
+// Queue is a binary min-heap of events under Event.Less. The zero value
+// is an empty queue ready for use. It is not synchronised; the Engine
+// serialises access under its own mutex.
+type Queue struct {
+	h []Event
+}
+
+// Len returns the number of queued events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Push inserts an event.
+func (q *Queue) Push(e Event) {
+	q.h = append(q.h, e)
+	i := len(q.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.h[i].Less(q.h[parent]) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+// Pop removes and returns the minimum event. It panics on an empty queue
+// (an engine invariant violation, not a recoverable condition).
+func (q *Queue) Pop() Event {
+	min := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h[last] = Event{}
+	q.h = q.h[:last]
+	q.siftDown(0)
+	return min
+}
+
+// Min returns the minimum event without removing it; ok is false when the
+// queue is empty.
+func (q *Queue) Min() (min Event, ok bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	return q.h[0], true
+}
+
+func (q *Queue) siftDown(i int) {
+	n := len(q.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.h[l].Less(q.h[smallest]) {
+			smallest = l
+		}
+		if r < n && q.h[r].Less(q.h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.h[i], q.h[smallest] = q.h[smallest], q.h[i]
+		i = smallest
+	}
+}

@@ -31,8 +31,11 @@ const (
 const (
 	budgetP2P       = 64   // measured 26 pooled; 793 pre-pooling
 	budgetAllreduce = 160  // measured 63 pooled; 2623 pre-pooling
-	budgetChurn     = 3200 // measured ~1620: world construction dominates
-	budgetOSU       = 128  // measured 46 pooled; 240 pre-pooling
+	budgetChurn     = 2200 // measured ~1095 with pooled inboxes and slab
+	// comms; ~1620 when every world built its inboxes and per-rank
+	// Comm/rankState records from scratch. A regression that drops the
+	// inbox pool or the Run slabs lands back above this line.
+	budgetOSU = 128 // measured 46 pooled; 240 pre-pooling
 )
 
 // world builds an np-rank world on p, one rank per node when spread is

@@ -187,6 +187,24 @@ func EC2() *Platform {
 	}
 }
 
+// Scaled returns a copy of p with enough nodes to host at least np
+// ranks, for what-if scaling studies beyond the paper's machines (the
+// PDES engine's 10k+ rank worlds need more slots than even Vayu's 1492
+// blades offer). Every per-node characteristic — CPU, memory, links,
+// filesystem, jitter, seed — is left untouched, so results at np within
+// the stock node count are identical to the unscaled platform; the name
+// gains a "-s<nodes>" suffix only when the node count actually grows, to
+// keep scaled results from aliasing stock ones in caches and manifests.
+func Scaled(p *Platform, np int) *Platform {
+	s := *p
+	nodes := (np + s.SlotsPerNode() - 1) / s.SlotsPerNode()
+	if nodes > s.Nodes {
+		s.Nodes = nodes
+		s.Name = fmt.Sprintf("%s-s%d", p.Name, nodes)
+	}
+	return &s
+}
+
 // All returns the three paper platforms in presentation order (DCC, EC2,
 // Vayu — the column order of Table I).
 func All() []*Platform {
