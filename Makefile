@@ -3,7 +3,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race fmt vet lint fuzz bench bench-smoke obs-smoke pdes-smoke verify results clean
+.PHONY: all build test race fmt vet lint fuzz bench bench-smoke obs-smoke pdes-smoke facility-smoke verify results clean
 
 all: build
 
@@ -43,6 +43,8 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSpotRun -fuzztime $(FUZZTIME) ./internal/arrive
 	$(GO) test -run '^$$' -fuzz FuzzEventQueue -fuzztime $(FUZZTIME) ./internal/pdes
 	$(GO) test -run '^$$' -fuzz FuzzEngine -fuzztime $(FUZZTIME) ./internal/pdes
+	$(GO) test -run '^$$' -fuzz FuzzWorkloadGen -fuzztime $(FUZZTIME) ./internal/facility
+	$(GO) test -run '^$$' -fuzz FuzzFacility -fuzztime $(FUZZTIME) ./internal/facility
 
 # Full microbenchmark run: measures the perfbench suite (ns/op, B/op,
 # allocs/op), checks allocation budgets, and rewrites BENCH_PR3.json with
@@ -96,11 +98,31 @@ pdes-smoke: build
 	fi
 	@echo "pdes-smoke: cli output identical across runtimes (race-clean)"
 
+# Batch-facility gate: a small seeded facility run (broker + spot, all
+# scheduler features on) executed twice; the runs must print byte-identical
+# reports — the digest line pins every outcome — and the manifest must
+# validate. Covers the cmd/facility flag plumbing the package tests
+# cannot see.
+facility-smoke: build
+	@rm -rf .facility-smoke && mkdir -p .facility-smoke
+	@a=$$($(GO) run ./cmd/facility -jobs 400 -tenants 40 -slots 64 -broker -spot \
+		-manifest .facility-smoke/a.manifest.json); \
+	b=$$($(GO) run ./cmd/facility -jobs 400 -tenants 40 -slots 64 -broker -spot \
+		-manifest .facility-smoke/b.manifest.json); \
+	if [ "$$a" != "$$b" ]; then \
+		echo "facility-smoke: two identical runs produced different reports:"; \
+		echo "--- run a ---"; echo "$$a"; \
+		echo "--- run b ---"; echo "$$b"; exit 1; \
+	fi
+	$(GO) run ./cmd/inspect manifest .facility-smoke/a.manifest.json >/dev/null
+	@rm -rf .facility-smoke
+	@echo "facility-smoke: run report deterministic and manifest valid"
+
 # The full local gate: static analysis (format, vet, reprolint), build,
 # tests, race tests, a short fuzz pass, the allocation-budget smoke, the
-# observability smoke, and the runtime-parity smoke. Mirrors what CI runs
-# (.github/workflows/ci.yml).
-verify: lint build test race fuzz bench-smoke obs-smoke pdes-smoke
+# observability smoke, the runtime-parity smoke and the batch-facility
+# smoke. Mirrors what CI runs (.github/workflows/ci.yml).
+verify: lint build test race fuzz bench-smoke obs-smoke pdes-smoke facility-smoke
 	@echo "verify: all gates passed"
 
 # Regenerate the committed seed artefacts (full sweep, seed 0).

@@ -5,3 +5,7 @@ import "testing"
 func TestDetmaprangeOrderObservability(t *testing.T) {
 	RunFixture(t, Detmaprange, "testdata/src/detmaprange", "repro/internal/report")
 }
+
+func TestDetmaprangeBatchFacility(t *testing.T) {
+	RunFixture(t, Detmaprange, "testdata/src/detmaprange", "repro/internal/facility")
+}

@@ -9,3 +9,7 @@ func TestDetrandSeedTraceability(t *testing.T) {
 func TestDetrandEventEngine(t *testing.T) {
 	RunFixture(t, Detrand, "testdata/src/detrand", "repro/internal/pdes")
 }
+
+func TestDetrandBatchFacility(t *testing.T) {
+	RunFixture(t, Detrand, "testdata/src/detrand", "repro/internal/facility")
+}

@@ -13,3 +13,7 @@ func TestDetwallAllowlistExemptsSchedExecute(t *testing.T) {
 func TestDetwallEventEngine(t *testing.T) {
 	RunFixture(t, Detwall, "testdata/src/detwall", "repro/internal/pdes")
 }
+
+func TestDetwallBatchFacility(t *testing.T) {
+	RunFixture(t, Detwall, "testdata/src/detwall", "repro/internal/facility")
+}

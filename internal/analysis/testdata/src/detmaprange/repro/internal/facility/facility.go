@@ -1,0 +1,51 @@
+// Fixture: map iteration in the batch facility. Tenant weights and
+// broker factors live in maps; folding them in range order would make
+// validation errors and priority sums nondeterministic.
+package facility
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ValidateWeightsUnsorted returns the first bad tenant in map order, so
+// the reported key changes run to run.
+func ValidateWeightsUnsorted(weights map[string]float64) error {
+	for tenant, w := range weights { // want `map iteration order reaches a return statement`
+		if w <= 0 {
+			return fmt.Errorf("tenant %s weight %g", tenant, w)
+		}
+	}
+	return nil
+}
+
+// TotalUsageUnsorted folds float usage in map order.
+func TotalUsageUnsorted(usage map[string]float64) float64 {
+	var total float64
+	for _, u := range usage { // want `order-sensitive accumulation`
+		total += u
+	}
+	return total
+}
+
+// ValidateWeightsSorted is the canonical fix: sort the tenants first.
+func ValidateWeightsSorted(weights map[string]float64) error {
+	tenants := make([]string, 0, len(weights))
+	for t := range weights {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		if weights[t] <= 0 {
+			return fmt.Errorf("tenant %s weight %g", t, weights[t])
+		}
+	}
+	return nil
+}
+
+// DecayAll is order-safe per-key work: each tenant's decay is local.
+func DecayAll(usage map[string]float64, k float64) {
+	for t, u := range usage {
+		usage[t] = u * k
+	}
+}

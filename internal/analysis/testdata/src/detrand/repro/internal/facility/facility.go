@@ -1,0 +1,26 @@
+// Fixture: randomness in the batch facility. Workload generation and
+// spot-market draws must come from seed-derived sim.RNG streams — an
+// untraceable source would change which tenant submits what, and the
+// golden E14 sweep would stop reproducing.
+package facility
+
+import "math/rand"
+
+// PickTenant models the forbidden pattern: sampling the tenant mix from
+// the runtime-seeded shared source.
+func PickTenant(tenants int) int {
+	return rand.Intn(tenants) // want `global math/rand\.Intn draws from the runtime-seeded shared source`
+}
+
+// Arrivals models a generator whose source is not traceable to a seed:
+// "jobs" is a count, so the expression could just as well be entropy.
+func Arrivals(jobs int) float64 {
+	src := rand.New(rand.NewSource(int64(jobs))) // want `rand\.New seeded from a non-seed expression` `rand\.NewSource seeded from a non-seed expression`
+	_ = src
+	return 0
+}
+
+// SeededOK shows the legitimate shape: the workload seed is threaded in.
+func SeededOK(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).ExpFloat64()
+}

@@ -1,0 +1,24 @@
+// Fixture: the batch facility is a virtual-time package — queue waits,
+// fairshare decay and spot outages all advance on the event heap's
+// clock. Reading the host clock anywhere in the scheduling path would
+// make queue order (and the E14 artefact bytes) depend on machine speed.
+package facility
+
+import "time"
+
+// Dispatch models the forbidden patterns: timestamping job starts with
+// host time and aging fairshare usage against the wall clock.
+func Dispatch(queue []float64) float64 {
+	admitted := time.Now() // want `time\.Now reads the wall clock`
+	started := 0.0
+	for _, submit := range queue {
+		started = submit
+	}
+	return started + time.Since(admitted).Seconds() // want `time\.Since reads the wall clock`
+}
+
+// VirtualOK shows the legitimate shape: waits are differences of event
+// timestamps, and limits enter as plain durations.
+func VirtualOK(submit, start float64, limit time.Duration) float64 {
+	return (start - submit) + limit.Seconds()
+}

@@ -63,6 +63,14 @@ func usageAfter(iv []interval, t float64) int {
 // jobs to the cloud at their submit time. It reproduces the
 // motivation-section claim that profile-guided bursting "improves the
 // average job waiting times" substantially once the HPC queue saturates.
+//
+// SimulateQueue is deliberately kept as the small-N oracle for
+// internal/facility: its quadratic interval walk is an independent,
+// obviously-correct implementation of FCFS list scheduling, and the
+// facility cross-validation test requires that an event-driven facility
+// run with backfill, fairshare, broker and spot all disabled reproduces
+// these stats bit-for-bit (facility.OracleStats folds outcomes back into
+// QueueStats using this function's exact accumulation order).
 func SimulateQueue(jobs []Job, hpcSlots int, policy BurstPolicy) (QueueStats, error) {
 	if hpcSlots <= 0 {
 		return QueueStats{}, fmt.Errorf("arrive: need positive cluster capacity")

@@ -134,6 +134,11 @@ func Registry() []Artefact {
 				fig, err := x.FigE13PDESScale()
 				return figureFiles("pdes1_e13_scale", fig, err)
 			}},
+		{ID: "fac1", Kind: KindTable, Desc: "multi-tenant facility: scheduling scenario outcomes",
+			Gen: func(x *Ctx) (map[string][]byte, error) {
+				t, err := x.TableE14Facility()
+				return tableFiles("fac1_e14_facility", t, err)
+			}},
 	}
 }
 

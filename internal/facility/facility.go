@@ -1,0 +1,665 @@
+// Package facility simulates a long-running, multi-tenant batch facility
+// in virtual time: a SLURM-style central queue with FCFS + EASY backfill
+// and decayed-usage fairshare priorities over the paper's three resource
+// pools (the Vayu HPC partition, the DCC private cloud, the EC2 public
+// cloud), an ARRIVE-F-style broker routing each job by predicted runtime
+// and cost, and spot-market interruptions threaded through the fault
+// plane with checkpoint/restart costs charged via iomodel.
+//
+// The simulation is entirely event-driven: arrivals, completions and
+// limit kills are events on the same strict-total-order virtual-time
+// heap the PDES rank engine uses (pdes.Queue), so a facility run is a
+// pure function of (workload, config) — bit-reproducible at any host
+// parallelism, under either mpi runtime, and byte-compared against the
+// small-N oracle arrive.SimulateQueue by the cross-validation tests.
+package facility
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/pdes"
+	"repro/internal/sim"
+)
+
+// Pool identifies one resource pool jobs can be placed on.
+type Pool uint8
+
+// The paper's three platforms, as schedulable pools.
+const (
+	PoolHPC Pool = iota // Vayu: the facility's own partition
+	PoolDCC             // private cloud
+	PoolEC2             // public cloud (on-demand or spot)
+	NumPools
+)
+
+// String implements fmt.Stringer.
+func (p Pool) String() string {
+	switch p {
+	case PoolHPC:
+		return "vayu"
+	case PoolDCC:
+		return "dcc"
+	case PoolEC2:
+		return "ec2"
+	}
+	return fmt.Sprintf("pool(%d)", int(p))
+}
+
+// JobState is a job's terminal (or in-flight) state.
+type JobState uint8
+
+// Job lifecycle states. Every submitted job ends exactly once as
+// Completed or Killed — the conservation property the test battery pins.
+const (
+	StateQueued JobState = iota
+	StateRunning
+	StateCompleted
+	StateKilled // exceeded its wall limit on the HPC partition
+)
+
+// String implements fmt.Stringer.
+func (s JobState) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateCompleted:
+		return "completed"
+	case StateKilled:
+		return "killed"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Job is one batch submission.
+type Job struct {
+	Tenant string // accounting principal (fairshare group)
+	Class  string // workload class (broker prediction key)
+	NP     int    // slots requested
+	// Runtime is the job's execution time on the reference (HPC) pool in
+	// virtual seconds; other pools scale it by the broker's projected
+	// per-class slowdown factor.
+	Runtime float64
+	// Limit is the requested wall limit on the reference pool (the
+	// scheduler's planning bound, scaled like Runtime). Zero means
+	// "exactly Runtime". A job whose Runtime exceeds its scaled limit is
+	// killed at the limit on the HPC partition.
+	Limit  float64
+	Submit float64 // submission virtual time
+}
+
+// Outcome is one job's final record.
+type Outcome struct {
+	Job
+	Seq   int // submission index (the job's facility-wide identity)
+	Pool  Pool
+	State JobState
+	Start float64
+	End   float64
+	Wait  float64 // Start - Submit
+	// Service is the span the job held its slots (End - Start): execution
+	// plus checkpoint writes plus, on spot, outage gaps and restarts.
+	Service float64
+	// Reserved is the first EASY reservation computed for the job while
+	// it was the blocked head of the HPC queue (0 when it never was).
+	// With fairshare off, Start <= Reserved is the backfill guarantee.
+	Reserved      float64
+	Interruptions int     // spot preemptions suffered
+	LostWork      float64 // rolled-back execution seconds
+	Cost          float64 // $ billed (0 on the facility's own partition)
+}
+
+// BoundedSlowdown returns max(1, (wait+service)/max(service, tau)) — the
+// standard queueing metric that keeps sub-tau jobs from dominating.
+func (o Outcome) BoundedSlowdown(tau float64) float64 {
+	if tau <= 0 {
+		tau = 10
+	}
+	den := math.Max(o.Service, tau)
+	s := (o.Wait + o.Service) / den
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// Config parameterises one facility.
+type Config struct {
+	// Slots is each pool's schedulable slot capacity. Slots[PoolHPC]
+	// must be positive; a zero cloud pool is simply unavailable.
+	Slots [NumPools]int
+
+	// Backfill enables EASY backfill on the HPC partition: when the
+	// highest-priority job cannot start, later jobs may run out of order
+	// if (by their wall limits) they cannot delay its reservation.
+	Backfill bool
+	// BackfillDepth bounds how many queued jobs one backfill pass
+	// examines (0 = 64, SLURM's bf_max_job_test discipline).
+	BackfillDepth int
+
+	// Fairshare orders the queue by decayed tenant usage instead of pure
+	// FCFS. Ties (and the no-fairshare order) are (submit, seq).
+	Fairshare bool
+	// FairshareHalfLife is the usage decay half-life in virtual seconds
+	// (0 = 86400, SLURM's default decay horizon shape).
+	FairshareHalfLife float64
+	// TenantWeights maps tenants to fairshare weights (unlisted = 1):
+	// priority orders by decayed usage divided by weight.
+	TenantWeights map[string]float64
+
+	// Broker, when set, routes each arriving job across the pools by
+	// predicted runtime and cost; nil statically places everything on
+	// the HPC partition.
+	Broker *Broker
+
+	// Spot, when set, makes the EC2 pool a spot-market pool: jobs there
+	// pay the spot price but suffer the plan's outages, rolling back to
+	// their last checkpoint (fault.Progress arithmetic) and paying
+	// checkpoint/restart I/O costs through iomodel.
+	Spot *SpotConfig
+
+	// Prices is the $ per slot-hour billed on each pool (PoolHPC is
+	// conventionally 0: the facility owns it).
+	Prices [NumPools]float64
+
+	// Tau is the bounded-slowdown threshold in seconds (0 = 10).
+	Tau float64
+
+	// Metrics, when set, receives facility counters (submissions, starts,
+	// kills, backfills, interruptions) in the obs registry.
+	Metrics *obs.Registry
+	// Meter, when set, accumulates the simulated makespan.
+	Meter *sim.Meter
+}
+
+// Validate rejects malformed configurations.
+func (c *Config) Validate() error {
+	if c.Slots[PoolHPC] <= 0 {
+		return fmt.Errorf("facility: HPC pool needs positive slots")
+	}
+	for p := PoolHPC; p < NumPools; p++ {
+		if c.Slots[p] < 0 {
+			return fmt.Errorf("facility: pool %s has negative slots", p)
+		}
+		if c.Prices[p] < 0 {
+			return fmt.Errorf("facility: pool %s has negative price", p)
+		}
+	}
+	if c.BackfillDepth < 0 || c.FairshareHalfLife < 0 || c.Tau < 0 {
+		return fmt.Errorf("facility: negative knob in %+v", c)
+	}
+	tenants := make([]string, 0, len(c.TenantWeights))
+	for t := range c.TenantWeights {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		if w := c.TenantWeights[t]; w <= 0 {
+			return fmt.Errorf("facility: tenant %s weight %g must be positive", t, w)
+		}
+	}
+	if c.Spot != nil {
+		if err := c.Spot.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Broker != nil {
+		if err := c.Broker.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Config) backfillDepth() int {
+	if c.BackfillDepth == 0 {
+		return 64
+	}
+	return c.BackfillDepth
+}
+
+func (c *Config) tau() float64 {
+	if c.Tau == 0 {
+		return 10
+	}
+	return c.Tau
+}
+
+// Result is one facility run's full record.
+type Result struct {
+	Outcomes []Outcome // indexed by submission order
+	Clock    float64   // virtual makespan (last event time)
+	Events   int       // events processed
+}
+
+// event kinds; completions order before arrivals at equal times so a
+// slot freed at t can be reused by a job submitted at t (the same
+// convention arrive.SimulateQueue's interval arithmetic encodes).
+const (
+	kindComplete = 0
+	kindArrive   = 1
+	// kindWake re-runs the spot pool's scheduler when an outage window
+	// closes — without it, jobs queued during an outage would never be
+	// revisited once the event heap drains.
+	kindWake = 2
+)
+
+// jobRec is the mutable in-flight state of one job.
+type jobRec struct {
+	job  Job
+	seq  int
+	pool Pool
+
+	state JobState
+	start float64
+	end   float64
+
+	// planDur is the scheduler's planning bound for the job on its pool
+	// (scaled wall limit); execution beyond it is killed on HPC.
+	planDur float64
+	// charge is the slot-seconds-per-slot the tenant is billed for
+	// (execution incl. lost work and checkpoint writes, excl. outages).
+	charge float64
+
+	reserved      float64
+	interruptions int
+	lost          float64
+	cost          float64
+}
+
+// poolState is one pool's scheduler state.
+type poolState struct {
+	id      Pool
+	slots   int
+	free    int
+	queue   []*jobRec // pending, in priority order (see sortQueue)
+	running []*jobRec
+	wakeAt  float64 // pending kindWake event time (0 = none)
+}
+
+// metrics bundles the facility's obs instruments.
+type metrics struct {
+	submitted, started, completed, killed *obs.Counter
+	backfilled, interruptions             *obs.Counter
+	waits                                 *obs.Histogram
+}
+
+func newMetrics(reg *obs.Registry) metrics {
+	return metrics{
+		submitted:     reg.Counter("facility_jobs_submitted_total", "jobs submitted to the facility"),
+		started:       reg.Counter("facility_jobs_started_total", "jobs dispatched to a pool"),
+		completed:     reg.Counter("facility_jobs_completed_total", "jobs that ran to completion"),
+		killed:        reg.Counter("facility_jobs_killed_total", "jobs killed at their wall limit"),
+		backfilled:    reg.Counter("facility_jobs_backfilled_total", "jobs started out of queue order by EASY backfill"),
+		interruptions: reg.Counter("facility_spot_interruptions_total", "spot outages that rolled a job back"),
+		waits:         reg.Histogram("facility_queue_wait_seconds", "per-job queue wait (virtual seconds, as ns)"),
+	}
+}
+
+// Facility is one simulation instance. Not safe for concurrent use;
+// distinct facilities are independent (the race stress test runs many
+// at once against a shared read-only broker).
+type Facility struct {
+	cfg   Config
+	pools [NumPools]*poolState
+	share *shareTracker
+	met   metrics
+
+	queue   pdes.Queue
+	payload []*jobRec // event payloads indexed by Event.Seq
+	kinds   []uint8
+	clock   float64
+	events  int
+}
+
+// New validates the config and returns a facility ready to Run.
+func New(cfg Config) (*Facility, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Facility{cfg: cfg, share: newShareTracker(cfg.FairshareHalfLife, cfg.TenantWeights)}
+	for p := PoolHPC; p < NumPools; p++ {
+		f.pools[p] = &poolState{id: p, slots: cfg.Slots[p], free: cfg.Slots[p]}
+	}
+	f.met = newMetrics(cfg.Metrics)
+	return f, nil
+}
+
+// Run simulates the whole workload and returns every job's outcome.
+// Jobs are identified by their slice index; equal submit times keep
+// slice order (the oracle's stable-sort convention).
+func (f *Facility) Run(jobs []Job) (*Result, error) {
+	recs := make([]*jobRec, len(jobs))
+	for i, j := range jobs {
+		if err := f.validateJob(j); err != nil {
+			return nil, fmt.Errorf("facility: job %d: %w", i, err)
+		}
+		if j.Limit == 0 {
+			j.Limit = j.Runtime
+		}
+		recs[i] = &jobRec{job: j, seq: i, state: StateQueued}
+		f.push(j.Submit, kindArrive, recs[i])
+		f.met.submitted.Inc()
+	}
+
+	for f.queue.Len() > 0 {
+		e := f.queue.Pop()
+		if e.Time < f.clock {
+			return nil, fmt.Errorf("facility: virtual clock regressed %g -> %g", f.clock, e.Time)
+		}
+		f.clock = e.Time
+		f.events++
+		rec := f.payload[e.Seq]
+		switch f.kinds[e.Seq] {
+		case kindArrive:
+			pool := f.route(rec)
+			rec.pool = pool
+			f.enqueue(f.pools[pool], rec)
+			f.schedule(f.pools[pool])
+		case kindComplete:
+			f.complete(rec)
+			f.schedule(f.pools[rec.pool])
+		case kindWake:
+			f.schedule(f.pools[PoolEC2])
+		}
+	}
+
+	out := &Result{Outcomes: make([]Outcome, len(jobs)), Clock: f.clock, Events: f.events}
+	for i, r := range recs {
+		if r.state != StateCompleted && r.state != StateKilled {
+			return nil, fmt.Errorf("facility: job %d finished in state %s", i, r.state)
+		}
+		out.Outcomes[i] = Outcome{
+			Job: r.job, Seq: i, Pool: r.pool, State: r.state,
+			Start: r.start, End: r.end, Wait: r.start - r.job.Submit,
+			Service: r.end - r.start, Reserved: r.reserved,
+			Interruptions: r.interruptions, LostWork: r.lost, Cost: r.cost,
+		}
+	}
+	f.cfg.Meter.Add(f.clock)
+	return out, nil
+}
+
+func (f *Facility) validateJob(j Job) error {
+	if j.NP <= 0 {
+		return fmt.Errorf("needs positive NP, got %d", j.NP)
+	}
+	cap := f.cfg.Slots[PoolHPC]
+	if f.cfg.Broker != nil {
+		// A brokered facility can place wide jobs on whichever pool fits.
+		for p := PoolHPC; p < NumPools; p++ {
+			if f.cfg.Slots[p] > cap {
+				cap = f.cfg.Slots[p]
+			}
+		}
+	}
+	if j.NP > cap {
+		return fmt.Errorf("needs %d slots, widest schedulable pool has %d", j.NP, cap)
+	}
+	if !(j.Runtime > 0) || math.IsInf(j.Runtime, 0) {
+		return fmt.Errorf("needs positive finite Runtime, got %g", j.Runtime)
+	}
+	if !(j.Limit >= 0) || !(j.Submit >= 0) || math.IsInf(j.Limit, 0) || math.IsInf(j.Submit, 0) {
+		return fmt.Errorf("Limit (%g) and Submit (%g) must be finite and non-negative", j.Limit, j.Submit)
+	}
+	if j.Tenant == "" {
+		return fmt.Errorf("needs a tenant")
+	}
+	return nil
+}
+
+// push schedules one event. The payload index doubles as the heap's
+// tie-breaking Seq, so insertion order makes the order total.
+func (f *Facility) push(at float64, kind uint8, rec *jobRec) {
+	f.payload = append(f.payload, rec)
+	f.kinds = append(f.kinds, kind)
+	f.queue.Push(pdes.Event{Time: at, Rank: int(kind), Seq: uint64(len(f.payload) - 1)})
+}
+
+// enqueue inserts rec into the pool queue keeping (submit, seq) order;
+// fairshare passes re-sort by priority at schedule time.
+func (p *poolState) insert(rec *jobRec) {
+	p.queue = append(p.queue, rec)
+}
+
+func (f *Facility) enqueue(p *poolState, rec *jobRec) {
+	p.insert(rec)
+}
+
+// complete finalises one running job: frees its slots and charges the
+// tenant's decayed-usage account for the consumed slot-seconds.
+func (f *Facility) complete(rec *jobRec) {
+	p := f.pools[rec.pool]
+	p.free += rec.job.NP
+	for i, r := range p.running {
+		if r == rec {
+			p.running = append(p.running[:i], p.running[i+1:]...)
+			break
+		}
+	}
+	f.share.charge(rec.job.Tenant, f.clock, rec.charge*float64(rec.job.NP))
+	if rec.state == StateKilled {
+		f.met.killed.Inc()
+	} else {
+		f.met.completed.Inc()
+	}
+	f.met.waits.ObserveSeconds(rec.start - rec.job.Submit)
+}
+
+// start dispatches rec on pool p at the current clock, computing its
+// completion (and terminal state) up front: the execution leg is a pure
+// function of (job, pool, spot plan), so one completion event suffices.
+func (f *Facility) start(p *poolState, rec *jobRec) {
+	rec.state = StateRunning
+	rec.start = f.clock
+	p.free -= rec.job.NP
+	p.running = append(p.running, rec)
+	f.met.started.Inc()
+
+	factor := f.factor(rec.job.Class, p.id)
+	base := rec.job.Runtime * factor
+	limit := rec.job.Limit * factor
+
+	switch {
+	case p.id == PoolEC2 && f.cfg.Spot != nil:
+		// Spot execution: outages roll progress back to the last
+		// checkpoint; limits are advisory on the elastic pool.
+		sr := f.cfg.Spot.run(rec.start, base, rec.job.NP)
+		rec.end = sr.end
+		rec.state = StateCompleted
+		rec.charge = sr.billed
+		rec.interruptions = sr.interruptions
+		rec.lost = sr.lost
+		rec.cost = float64(rec.job.NP) * sr.billed / 3600 * f.cfg.Spot.Price
+		f.met.interruptions.Add(int64(sr.interruptions))
+	default:
+		exec := base
+		state := StateCompleted
+		if base > limit {
+			exec, state = limit, StateKilled
+		}
+		rec.end = rec.start + exec
+		rec.state = state
+		rec.charge = exec
+		rec.cost = float64(rec.job.NP) * exec / 3600 * f.cfg.Prices[p.id]
+	}
+	f.push(rec.end, kindComplete, rec)
+}
+
+// factor returns the class's projected runtime multiplier on pool
+// (1 everywhere without a broker, and always exactly 1 on HPC).
+func (f *Facility) factor(class string, pool Pool) float64 {
+	if pool == PoolHPC || f.cfg.Broker == nil {
+		return 1
+	}
+	return f.cfg.Broker.factor(class, pool)
+}
+
+// planDur returns the planning bound used for reservations and backfill
+// windows on the HPC partition: the job's wall limit.
+func (f *Facility) planDur(rec *jobRec) float64 {
+	return rec.job.Limit
+}
+
+// sortQueue orders p's queue for one scheduling pass. Without fairshare
+// the queue is already in (submit, seq) order — arrivals are events on
+// the time-ordered heap — so FCFS needs no sort. With fairshare the key
+// is (decayed usage / weight, submit, seq): usage decays at one shared
+// rate, so relative tenant order only changes when usage is charged,
+// and relabeling tenants cannot change the schedule (the order never
+// depends on the tenant name itself — the order-invariance property).
+func (f *Facility) sortQueue(p *poolState) {
+	if !f.cfg.Fairshare || len(p.queue) < 2 {
+		return
+	}
+	type keyed struct {
+		usage float64
+		rec   *jobRec
+	}
+	keys := make([]keyed, len(p.queue))
+	for i, r := range p.queue {
+		keys[i] = keyed{f.share.usageAt(r.job.Tenant, f.clock), r}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.usage != b.usage {
+			return a.usage < b.usage
+		}
+		if a.rec.job.Submit != b.rec.job.Submit {
+			return a.rec.job.Submit < b.rec.job.Submit
+		}
+		return a.rec.seq < b.rec.seq
+	})
+	for i := range keys {
+		p.queue[i] = keys[i].rec
+	}
+}
+
+// available reports whether the pool can start jobs at the current
+// clock (the spot pool is frozen during a market outage).
+func (f *Facility) available(p *poolState) bool {
+	if p.id == PoolEC2 && f.cfg.Spot != nil {
+		return !f.cfg.Spot.Plan.OutageAt(f.clock)
+	}
+	return true
+}
+
+// schedule runs one scheduling pass over pool p: start queue-order jobs
+// while they fit, then (HPC only) an EASY backfill pass behind the
+// blocked head's reservation.
+func (f *Facility) schedule(p *poolState) {
+	if len(p.queue) == 0 {
+		return
+	}
+	if !f.available(p) {
+		// Frozen by a spot outage: schedule a wake at the window's end so
+		// the queued jobs are revisited even if the heap otherwise drains.
+		if end, ok := f.cfg.Spot.outageEndAt(f.clock); ok && p.wakeAt != end {
+			p.wakeAt = end
+			f.push(end, kindWake, nil)
+		}
+		return
+	}
+	f.sortQueue(p)
+	for len(p.queue) > 0 && p.queue[0].job.NP <= p.free {
+		rec := p.queue[0]
+		p.queue = p.queue[1:]
+		f.start(p, rec)
+	}
+	if len(p.queue) == 0 || p.id != PoolHPC || !f.cfg.Backfill {
+		return
+	}
+	f.backfill(p)
+}
+
+// backfill is the EASY pass: compute the head's reservation from the
+// running jobs' planning bounds, then start later jobs that cannot
+// delay it — they either finish (by their limit) before the
+// reservation, or fit in the slots the head leaves spare.
+func (f *Facility) backfill(p *poolState) {
+	head := p.queue[0]
+	resv, spare := f.reservation(p, head)
+	if head.reserved == 0 {
+		head.reserved = resv
+	}
+	depth := f.cfg.backfillDepth()
+	kept := p.queue[:1]
+	for i, rec := range p.queue[1:] {
+		if i >= depth || p.free == 0 {
+			kept = append(kept, p.queue[1+i:]...)
+			break
+		}
+		fits := rec.job.NP <= p.free
+		safe := f.clock+f.planDur(rec) <= resv || rec.job.NP <= spare
+		if fits && safe {
+			if f.clock+f.planDur(rec) > resv {
+				spare -= rec.job.NP
+			}
+			f.start(p, rec)
+			f.met.backfilled.Inc()
+			continue
+		}
+		kept = append(kept, rec)
+	}
+	p.queue = kept
+}
+
+// reservation returns the earliest time the head is guaranteed to fit
+// (walking running jobs' planning-bound ends in ascending order), plus
+// the slots still spare at that time after the head starts.
+func (f *Facility) reservation(p *poolState, head *jobRec) (resv float64, spare int) {
+	ends := make([]struct {
+		at float64
+		np int
+	}, len(p.running))
+	for i, r := range p.running {
+		at := r.start + f.planDur(r)
+		if at < r.end {
+			at = r.end // a job never frees slots before its computed end
+		}
+		ends[i].at = at
+		ends[i].np = r.job.NP
+	}
+	sort.Slice(ends, func(i, j int) bool { return ends[i].at < ends[j].at })
+	free := p.free
+	resv = f.clock
+	for _, e := range ends {
+		if free >= head.job.NP {
+			break
+		}
+		free += e.np
+		resv = e.at
+	}
+	return resv, free - head.job.NP
+}
+
+// route picks the pool an arriving job runs on.
+func (f *Facility) route(rec *jobRec) Pool {
+	if f.cfg.Broker == nil {
+		return PoolHPC
+	}
+	return f.cfg.Broker.route(rec.job, f)
+}
+
+// estWait estimates pool p's queue wait at the current clock: total
+// outstanding planned work (queued planning bounds plus running jobs'
+// remaining spans) divided by the pool's slot capacity.
+func (f *Facility) estWait(p *poolState) float64 {
+	if p.slots == 0 {
+		return math.Inf(1)
+	}
+	var work float64
+	for _, r := range p.queue {
+		work += float64(r.job.NP) * f.planDur(r) * f.factor(r.job.Class, p.id)
+	}
+	for _, r := range p.running {
+		if rem := r.end - f.clock; rem > 0 {
+			work += float64(r.job.NP) * rem
+		}
+	}
+	return work / float64(p.slots)
+}

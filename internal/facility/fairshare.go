@@ -1,0 +1,65 @@
+package facility
+
+import "math"
+
+// shareTracker is the decayed-usage fairshare account book. Every
+// tenant's usage (slot-seconds) decays exponentially with one shared
+// half-life; priority orders by decayed usage divided by the tenant's
+// weight, lowest first. Because the decay rate is shared, the relative
+// order of two tenants' usage never changes between charges — decay
+// alone can never reshuffle the queue, which keeps scheduling passes
+// cheap and the schedule a pure function of the charge sequence.
+type shareTracker struct {
+	half    float64
+	weights map[string]float64
+	usage   map[string]*tenantUsage
+}
+
+type tenantUsage struct {
+	value float64 // slot-seconds, decayed to `at`
+	at    float64
+}
+
+func newShareTracker(halfLife float64, weights map[string]float64) *shareTracker {
+	if halfLife == 0 {
+		halfLife = 86400
+	}
+	return &shareTracker{half: halfLife, weights: weights, usage: map[string]*tenantUsage{}}
+}
+
+// decayTo folds the exponential decay into u.value up to time t.
+func (s *shareTracker) decayTo(u *tenantUsage, t float64) {
+	if t > u.at {
+		u.value *= math.Exp2(-(t - u.at) / s.half)
+		u.at = t
+	}
+}
+
+// charge bills slot-seconds to the tenant's account at time t.
+func (s *shareTracker) charge(tenant string, t, slotSeconds float64) {
+	u, ok := s.usage[tenant]
+	if !ok {
+		u = &tenantUsage{at: t}
+		s.usage[tenant] = u
+	}
+	s.decayTo(u, t)
+	u.value += slotSeconds
+}
+
+// usageAt returns the tenant's weight-normalised decayed usage at t —
+// the fairshare sort key (lower = higher priority). Tenants that never
+// ran sort first, then by (submit, seq).
+func (s *shareTracker) usageAt(tenant string, t float64) float64 {
+	u, ok := s.usage[tenant]
+	if !ok {
+		return 0
+	}
+	s.decayTo(u, t)
+	w := 1.0
+	if s.weights != nil {
+		if ww, ok := s.weights[tenant]; ok {
+			w = ww
+		}
+	}
+	return u.value / w
+}

@@ -1,0 +1,159 @@
+package facility
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzWorkloadGen feeds arbitrary spec parameters to the generator and
+// checks its contract: valid specs produce valid, arrival-ordered jobs,
+// and the stream is a pure function of the spec (two calls, identical
+// output).
+func FuzzWorkloadGen(f *testing.F) {
+	f.Add(uint64(0), uint16(100), uint16(10), uint16(64), uint16(0), false)
+	f.Add(uint64(42), uint16(1000), uint16(200), uint16(128), uint16(32), true)
+	f.Add(uint64(7), uint16(1), uint16(1), uint16(1), uint16(1), false)
+	f.Add(uint64(9999), uint16(300), uint16(5), uint16(16), uint16(8), true)
+	f.Fuzz(func(t *testing.T, seed uint64, jobs, tenants, slots, maxNP uint16, fixedHorizon bool) {
+		spec := WorkloadSpec{
+			Seed:    seed,
+			Jobs:    1 + int(jobs)%2000,
+			Tenants: 1 + int(tenants)%500,
+			Slots:   1 + int(slots)%512,
+		}
+		spec.MaxNP = int(maxNP) % (spec.Slots + 1)
+		if fixedHorizon {
+			spec.Horizon = 10000
+		}
+		a, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("valid spec rejected: %v", err)
+		}
+		b, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != spec.Jobs || len(b) != spec.Jobs {
+			t.Fatalf("generated %d/%d jobs, want %d", len(a), len(b), spec.Jobs)
+		}
+		prev := 0.0
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("job %d not deterministic: %+v vs %+v", i, a[i], b[i])
+			}
+			j := a[i]
+			if j.Submit < prev {
+				t.Fatalf("job %d: arrivals out of order (%g < %g)", i, j.Submit, prev)
+			}
+			prev = j.Submit
+			if j.NP < 1 || j.NP > spec.Slots {
+				t.Fatalf("job %d: np %d outside [1,%d]", i, j.NP, spec.Slots)
+			}
+			if j.Runtime <= 0 || j.Limit <= 0 || j.Tenant == "" || j.Class == "" {
+				t.Fatalf("job %d malformed: %+v", i, j)
+			}
+		}
+	})
+}
+
+// fuzzConfig decodes facility knobs from 8 fuzz bytes.
+func fuzzConfig(knobs []byte) Config {
+	cfg := Config{
+		Slots:  [NumPools]int{1 + int(knobs[0])%64, int(knobs[1]) % 32, int(knobs[2]) % 32},
+		Prices: [NumPools]float64{0, 0.34, 0.68},
+	}
+	if knobs[3]&1 != 0 {
+		cfg.Backfill = true
+		cfg.BackfillDepth = int(knobs[4]) % 128
+	}
+	if knobs[3]&2 != 0 {
+		cfg.Fairshare = true
+		cfg.FairshareHalfLife = float64(1+int(knobs[5])) * 60
+	}
+	if knobs[3]&4 != 0 {
+		cfg.Broker = staticTestBroker()
+	}
+	if knobs[3]&8 != 0 {
+		cfg.Spot = testSpot()
+	}
+	return cfg
+}
+
+// FuzzFacility drives a whole facility run from fuzz input: the first 8
+// bytes select config knobs, the rest is parsed as a job trace. Any
+// trace the parser accepts must either be rejected by job validation or
+// run to completion — no panics, no stuck jobs — and the run must be
+// deterministic (identical digests on a rerun).
+func FuzzFacility(f *testing.F) {
+	seedTrace := func(seed uint64, n int, knobs byte) []byte {
+		jobs, err := Generate(WorkloadSpec{Seed: seed, Jobs: n, Tenants: 5, Slots: 16})
+		if err != nil {
+			panic(err)
+		}
+		buf := make([]byte, 8)
+		buf[3] = knobs
+		binary.BigEndian.PutUint32(buf[4:], uint32(seed))
+		buf[0] = 32 // HPC slots knob
+		buf[1] = 16
+		buf[2] = 16
+		return append(buf, FormatTrace(jobs)...)
+	}
+	f.Add(seedTrace(1, 20, 0))
+	f.Add(seedTrace(2, 40, 1))
+	f.Add(seedTrace(3, 30, 3))
+	f.Add(seedTrace(4, 25, 7))
+	f.Add(seedTrace(5, 35, 15))
+	f.Add([]byte{16, 0, 0, 0, 0, 0, 0, 0, 't', ' ', 'e', 'p', ' ', '1', ' ', '5', ' ', '5', ' ', '0', '\n'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 8 {
+			return
+		}
+		cfg := fuzzConfig(data[:8])
+		jobs, err := ParseTrace(data[8:])
+		if err != nil || len(jobs) == 0 {
+			return
+		}
+		if len(jobs) > 256 {
+			jobs = jobs[:256]
+		}
+		for _, j := range jobs {
+			// A week-long horizon bounds the fuzz run's virtual work: a
+			// 1e30-second spot job legitimately simulates 1e27 checkpoint
+			// writes, which is correct but not a useful fuzz iteration.
+			if j.Runtime > 7*86400 || j.Limit > 7*86400 || j.Submit > 7*86400 {
+				return
+			}
+		}
+		run := func() (*Result, error) {
+			fac, err := New(cfg)
+			if err != nil {
+				t.Fatalf("fuzzConfig built an invalid config: %v", err)
+			}
+			return fac.Run(jobs)
+		}
+		res, err := run()
+		if err != nil {
+			// Job validation rejected the trace — fine, but it must do so
+			// deterministically.
+			if _, err2 := run(); err2 == nil {
+				t.Fatalf("nondeterministic rejection: %v then success", err)
+			}
+			return
+		}
+		for i, o := range res.Outcomes {
+			if o.State != StateCompleted && o.State != StateKilled {
+				t.Fatalf("job %d stuck in %s", i, o.State)
+			}
+			if !(o.Submit <= o.Start && o.Start <= o.End) {
+				t.Fatalf("job %d times unordered: %+v", i, o)
+			}
+		}
+		res2, err := run()
+		if err != nil {
+			t.Fatalf("accepted then rejected: %v", err)
+		}
+		if Digest(res) != Digest(res2) {
+			t.Fatal("rerun digest diverged")
+		}
+	})
+}

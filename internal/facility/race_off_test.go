@@ -1,0 +1,8 @@
+//go:build !race
+
+package facility
+
+// raceEnabled reports whether the race detector instruments this build;
+// see race_on_test.go. The stress tests scale their workloads down under
+// the detector so the race wall stays fast.
+const raceEnabled = false

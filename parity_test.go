@@ -10,6 +10,7 @@ import (
 	"repro/internal/apps/metum"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/facility"
 	"repro/internal/fault"
 	"repro/internal/mpi"
 	"repro/internal/npb"
@@ -221,9 +222,9 @@ func TestParityFaultFailFast(t *testing.T) {
 // rank counts are small enough for the goroutine oracle to replay the
 // PDES engine's own scaling artefact.
 func TestParityArtefactBytes(t *testing.T) {
-	ids := []string{"fig4", "table2", "pdes1"}
+	ids := []string{"fig4", "table2", "pdes1", "fac1"}
 	if raceEnabled {
-		ids = []string{"fig4", "pdes1"}
+		ids = []string{"fig4", "pdes1", "fac1"}
 	}
 	arts, err := experiments.Select(ids)
 	if err != nil {
@@ -250,6 +251,60 @@ func TestParityArtefactBytes(t *testing.T) {
 						a.ID, eng.name, name)
 				}
 			}
+		}
+	}
+}
+
+// TestParityFacility cross-validates the batch facility's job-execution
+// leg: broker calibration is built from real core.Execute reference runs,
+// so the calibrated factors — and every facility decision downstream of
+// them — must be bit-identical whichever engine performed those runs.
+func TestParityFacility(t *testing.T) {
+	jobs, err := facility.Generate(facility.WorkloadSpec{
+		Seed: 7, Jobs: 120, Tenants: 15, Slots: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refBroker *facility.Broker
+	var refDigest string
+	for _, eng := range engines {
+		broker, err := facility.CalibrateBroker(facility.CalibrateOpts{
+			Runtime: eng.rt, EngineWorkers: eng.workers,
+		})
+		if err != nil {
+			t.Fatalf("calibration under %s: %v", eng.name, err)
+		}
+		f, err := facility.New(facility.Config{
+			Slots:     [facility.NumPools]int{64, 32, 32},
+			Backfill:  true,
+			Fairshare: true,
+			Broker:    broker,
+			Prices:    [facility.NumPools]float64{0, 0.34, 0.68},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Run(jobs)
+		if err != nil {
+			t.Fatalf("facility under %s: %v", eng.name, err)
+		}
+		digest := facility.Digest(res)
+		if refBroker == nil {
+			refBroker, refDigest = broker, digest
+			continue
+		}
+		for _, class := range facility.CalibratedClasses() {
+			a, b := refBroker.Factors[class], broker.Factors[class]
+			for p := range a {
+				if math.Float64bits(a[p]) != math.Float64bits(b[p]) {
+					t.Fatalf("class %s factor on %s under %s: %v vs oracle %v",
+						class, facility.Pool(p), eng.name, b[p], a[p])
+				}
+			}
+		}
+		if digest != refDigest {
+			t.Fatalf("facility digest under %s diverged from the oracle's schedule", eng.name)
 		}
 	}
 }
