@@ -45,6 +45,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzEngine -fuzztime $(FUZZTIME) ./internal/pdes
 	$(GO) test -run '^$$' -fuzz FuzzWorkloadGen -fuzztime $(FUZZTIME) ./internal/facility
 	$(GO) test -run '^$$' -fuzz FuzzFacility -fuzztime $(FUZZTIME) ./internal/facility
+	$(GO) test -run '^$$' -fuzz FuzzParseSWF -fuzztime $(FUZZTIME) ./internal/facility
 
 # Full microbenchmark run: measures the perfbench suite (ns/op, B/op,
 # allocs/op), checks allocation budgets, and rewrites BENCH_PR3.json with

@@ -8,7 +8,16 @@
 //
 //	facility [-jobs 2000] [-tenants 200] [-slots 256] [-seed 0]
 //	         [-broker] [-spot] [-bid 0.60] [-trace jobs.txt]
+//	         [-swf trace.swf] [-sched heap|sort] [-stream]
 //	         [-emit-trace jobs.txt] [-manifest run.json]
+//
+// -swf replays a Standard Workload Format archive trace; records wider
+// than the HPC partition are skipped (and counted). -stream switches to
+// the streaming run path — per-job outcomes are folded into reservoir
+// statistics as they complete instead of being collected, which is how
+// million-job traces fit in bounded memory. -sched selects the
+// incremental heap scheduler (default) or the sort-per-pass oracle it
+// is validated against; both produce bit-identical schedules.
 package main
 
 import (
@@ -33,20 +42,53 @@ func main() {
 	spot := flag.Bool("spot", false, "run the EC2 pool on a simulated spot market (implies -broker)")
 	bid := flag.Float64("bid", 0.60, "spot bid in $/hour")
 	trace := flag.String("trace", "", "replay jobs from a trace file instead of generating")
+	swf := flag.String("swf", "", "replay jobs from a Standard Workload Format trace")
+	sched := flag.String("sched", "heap", "scheduler implementation: heap (incremental) or sort (oracle)")
+	stream := flag.Bool("stream", false, "stream outcomes into reservoir statistics (bounded memory)")
 	emit := flag.String("emit-trace", "", "write the workload as a replayable trace to this file and exit")
 	manifest := flag.String("manifest", "", "write a run-manifest JSON to this file")
 	flag.Parse()
 	start := time.Now()
 
+	var kind facility.SchedKind
+	switch *sched {
+	case "heap":
+		kind = facility.SchedHeap
+	case "sort":
+		kind = facility.SchedSort
+	default:
+		fatal(fmt.Errorf("unknown -sched %q (want heap or sort)", *sched))
+	}
+
 	var wl []facility.Job
 	var err error
-	if *trace != "" {
+	switch {
+	case *swf != "":
+		data, rerr := os.ReadFile(*swf)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		wl, err = facility.ParseSWF(data)
+		if err == nil {
+			kept, skipped := wl[:0], 0
+			for _, j := range wl {
+				if j.NP > *slots {
+					skipped++
+					continue
+				}
+				kept = append(kept, j)
+			}
+			wl = kept
+			fmt.Printf("loaded %d jobs from %s (%d skipped: wider than the %d-slot HPC partition)\n",
+				len(wl), *swf, skipped, *slots)
+		}
+	case *trace != "":
 		data, rerr := os.ReadFile(*trace)
 		if rerr != nil {
 			fatal(rerr)
 		}
 		wl, err = facility.ParseTrace(data)
-	} else {
+	default:
 		wl, err = facility.Generate(facility.WorkloadSpec{
 			Seed: *seed, Jobs: *jobs, Tenants: *tenants, Slots: *slots,
 		})
@@ -68,6 +110,7 @@ func main() {
 		Slots:     [facility.NumPools]int{*slots, *slots / 2, *slots / 2},
 		Backfill:  true,
 		Fairshare: true,
+		Sched:     kind,
 		Prices:    [facility.NumPools]float64{0, 0.34, 0.68},
 		Meter:     meter,
 		Metrics:   reg,
@@ -94,14 +137,30 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := f.Run(wl)
-	if err != nil {
-		fatal(err)
+	var s facility.Summary
+	var events int
+	var digest string
+	if *stream {
+		ss := facility.NewStreamSummary(0, *seed)
+		sd := facility.NewStreamDigest()
+		sr, err := f.RunStream(wl, func(o facility.Outcome) {
+			ss.Observe(o)
+			sd.Observe(o)
+		})
+		if err != nil {
+			fatal(err)
+		}
+		s, events, digest = ss.Summary(), sr.Events, sd.Sum(sr.Clock, sr.Events)
+	} else {
+		res, err := f.Run(wl)
+		if err != nil {
+			fatal(err)
+		}
+		s, events, digest = facility.Summarize(res.Outcomes, 0), res.Events, facility.Digest(res)
 	}
-	s := facility.Summarize(res.Outcomes, 0)
 
 	fmt.Printf("scheduled %d jobs (%d events, virtual makespan %.0fs)\n",
-		s.Jobs, res.Events, s.Makespan)
+		s.Jobs, events, s.Makespan)
 	fmt.Printf("  completed %d, killed at limit %d\n", s.Completed, s.Killed)
 	for p, n := range s.ByPool {
 		fmt.Printf("  %-5s %6d jobs\n", facility.Pool(p), n)
@@ -113,7 +172,11 @@ func main() {
 		fmt.Printf("  spot: %d interruptions, %.0fs lost work\n", s.Interruptions, s.LostWork)
 	}
 	fmt.Printf("  cloud share %.1f%%, cost $%.2f\n", 100*s.CloudShare, s.Cost)
-	fmt.Printf("  digest %s\n", facility.Digest(res))
+	if *stream {
+		fmt.Printf("  stream digest %s\n", digest)
+	} else {
+		fmt.Printf("  digest %s\n", digest)
+	}
 
 	if err := obs.WriteManifest(*manifest, &obs.Manifest{
 		Schema: obs.ManifestSchema, Binary: "facility",
@@ -123,7 +186,9 @@ func main() {
 			"slots":  strconv.Itoa(*slots),
 			"broker": strconv.FormatBool(cfg.Broker != nil),
 			"spot":   strconv.FormatBool(cfg.Spot != nil),
-			"digest": facility.Digest(res),
+			"sched":  cfg.Sched.String(),
+			"stream": strconv.FormatBool(*stream),
+			"digest": digest,
 		},
 		Metrics:        reg.Snapshot(false),
 		VirtualSeconds: meter.Total(),

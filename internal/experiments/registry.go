@@ -139,6 +139,11 @@ func Registry() []Artefact {
 				t, err := x.TableE14Facility()
 				return tableFiles("fac1_e14_facility", t, err)
 			}},
+		{ID: "fac2", Kind: KindTable, Desc: "facility scale ladder: streaming statistics to 10^6 jobs",
+			Gen: func(x *Ctx) (map[string][]byte, error) {
+				t, err := x.TableE15FacilityScale()
+				return tableFiles("fac2_e15_facility_scale", t, err)
+			}},
 	}
 }
 

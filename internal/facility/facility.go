@@ -12,6 +12,13 @@
 // pure function of (workload, config) — bit-reproducible at any host
 // parallelism, under either mpi runtime, and byte-compared against the
 // small-N oracle arrive.SimulateQueue by the cross-validation tests.
+//
+// Two scheduler implementations share the event loop. SchedHeap (the
+// default) keeps incremental structures — a lazily re-keyed pending
+// heap, a maintained release profile for EASY reservations, and O(1)
+// wait-estimate aggregates — so a million-job run stays near-linear.
+// SchedSort is the original sort-per-pass implementation, retained as
+// the oracle the parity suite compares against bit for bit.
 package facility
 
 import (
@@ -104,9 +111,11 @@ type Outcome struct {
 	// Service is the span the job held its slots (End - Start): execution
 	// plus checkpoint writes plus, on spot, outage gaps and restarts.
 	Service float64
-	// Reserved is the first EASY reservation computed for the job while
-	// it was the blocked head of the HPC queue (0 when it never was).
-	// With fairshare off, Start <= Reserved is the backfill guarantee.
+	// Reserved is the earliest EASY reservation guarantee computed for
+	// the job while it was the blocked head of the HPC queue (0 when it
+	// never was); later passes refresh it downward as completions beat
+	// the planning bounds. With fairshare off, Start <= Reserved is the
+	// backfill guarantee.
 	Reserved      float64
 	Interruptions int     // spot preemptions suffered
 	LostWork      float64 // rolled-back execution seconds
@@ -125,6 +134,31 @@ func (o Outcome) BoundedSlowdown(tau float64) float64 {
 		return 1
 	}
 	return s
+}
+
+// SchedKind selects the scheduler implementation.
+type SchedKind uint8
+
+const (
+	// SchedHeap is the incremental scheduler: a lazily re-keyed pending
+	// heap, a maintained release profile and O(1) wait estimates. The
+	// default, and the path the E15 million-job artefact runs on.
+	SchedHeap SchedKind = iota
+	// SchedSort is the original sort-per-pass scheduler, kept (without
+	// build tags) as the oracle the parity suite compares SchedHeap
+	// against bit for bit.
+	SchedSort
+)
+
+// String implements fmt.Stringer.
+func (k SchedKind) String() string {
+	switch k {
+	case SchedHeap:
+		return "heap"
+	case SchedSort:
+		return "sort"
+	}
+	return fmt.Sprintf("sched(%d)", int(k))
 }
 
 // Config parameterises one facility.
@@ -169,6 +203,9 @@ type Config struct {
 	// Tau is the bounded-slowdown threshold in seconds (0 = 10).
 	Tau float64
 
+	// Sched selects the scheduler implementation (default SchedHeap).
+	Sched SchedKind
+
 	// Metrics, when set, receives facility counters (submissions, starts,
 	// kills, backfills, interruptions) in the obs registry.
 	Metrics *obs.Registry
@@ -191,6 +228,9 @@ func (c *Config) Validate() error {
 	}
 	if c.BackfillDepth < 0 || c.FairshareHalfLife < 0 || c.Tau < 0 {
 		return fmt.Errorf("facility: negative knob in %+v", c)
+	}
+	if c.Sched > SchedSort {
+		return fmt.Errorf("facility: unknown scheduler kind %d", c.Sched)
 	}
 	tenants := make([]string, 0, len(c.TenantWeights))
 	for t := range c.TenantWeights {
@@ -236,6 +276,14 @@ type Result struct {
 	Events   int       // events processed
 }
 
+// StreamResult is a streaming run's aggregate record (the per-job
+// outcomes went to the emit callback instead of a slice).
+type StreamResult struct {
+	Jobs   int
+	Clock  float64 // virtual makespan (last event time)
+	Events int     // events processed
+}
+
 // event kinds; completions order before arrivals at equal times so a
 // slot freed at t can be reused by a job submitted at t (the same
 // convention arrive.SimulateQueue's interval arithmetic encodes).
@@ -248,7 +296,10 @@ const (
 	kindWake = 2
 )
 
-// jobRec is the mutable in-flight state of one job.
+// jobRec is the mutable in-flight state of one job. Records are
+// slab-allocated on arrival and recycled after their outcome is
+// emitted, so a streaming run's live records are bounded by the
+// in-flight set, not the workload length.
 type jobRec struct {
 	job  Job
 	seq  int
@@ -264,6 +315,13 @@ type jobRec struct {
 	// charge is the slot-seconds-per-slot the tenant is billed for
 	// (execution incl. lost work and checkpoint writes, excl. outages).
 	charge float64
+	// qwork is the job's stored contribution to its pool's queued-work
+	// aggregate; subtracting the identical float on start keeps the
+	// incremental sum exact per job.
+	qwork float64
+	// acct caches the tenant's fairshare account (heap scheduler only),
+	// so staleness checks are a pointer load, not a map lookup.
+	acct *tenantUsage
 
 	reserved      float64
 	interruptions int
@@ -273,12 +331,27 @@ type jobRec struct {
 
 // poolState is one pool's scheduler state.
 type poolState struct {
-	id      Pool
-	slots   int
-	free    int
-	queue   []*jobRec // pending, in priority order (see sortQueue)
+	id    Pool
+	slots int
+	free  int
+
+	// Sort-oracle path: pending jobs in priority order (see sortQueue)
+	// and the running set the per-pass reservation sort walks.
+	queue   []*jobRec
 	running []*jobRec
-	wakeAt  float64 // pending kindWake event time (0 = none)
+
+	// Heap path: the pending heap and (HPC only) the maintained
+	// timeline of planned releases reservations walk.
+	pend    pendHeap
+	profile releaseProfile
+
+	// Maintained aggregates shared by both paths so estWait is O(1):
+	// queued planning-bound work, and the running set's Σnp / Σnp·end.
+	qWork float64
+	npRun int
+	npEnd float64
+
+	wakeAt float64 // pending kindWake event time (0 = none)
 }
 
 // metrics bundles the facility's obs instruments.
@@ -286,6 +359,12 @@ type metrics struct {
 	submitted, started, completed, killed *obs.Counter
 	backfilled, interruptions             *obs.Counter
 	waits                                 *obs.Histogram
+	// Reservation refinements (EASY guarantees moving earlier as
+	// completions beat planning bounds) are registered volatile:
+	// diagnostics added after fac1 shipped must not perturb the stable
+	// snapshots embedded in committed artefact manifests.
+	resvRefined  *obs.Counter
+	resvRefineBy *obs.Histogram
 }
 
 func newMetrics(reg *obs.Registry) metrics {
@@ -297,6 +376,8 @@ func newMetrics(reg *obs.Registry) metrics {
 		backfilled:    reg.Counter("facility_jobs_backfilled_total", "jobs started out of queue order by EASY backfill"),
 		interruptions: reg.Counter("facility_spot_interruptions_total", "spot outages that rolled a job back"),
 		waits:         reg.Histogram("facility_queue_wait_seconds", "per-job queue wait (virtual seconds, as ns)"),
+		resvRefined:   reg.VolatileCounter("facility_reservations_refined_total", "EASY head reservations refreshed to an earlier guarantee"),
+		resvRefineBy:  reg.VolatileHistogram("facility_reservation_refinement_seconds", "improvement per reservation refresh (virtual seconds, as ns)"),
 	}
 }
 
@@ -309,11 +390,22 @@ type Facility struct {
 	share *shareTracker
 	met   metrics
 
-	queue   pdes.Queue
-	payload []*jobRec // event payloads indexed by Event.Seq
-	kinds   []uint8
+	queue pdes.Queue
+	// jobs is the run's input; arrival events carry Seq < len(jobs) and
+	// index straight into it. payload carries completion/wake records at
+	// Seq - len(jobs) — together they reproduce the exact tie-breaking
+	// Seq sequence the original single-payload encoding assigned.
+	jobs    []Job
+	payload []*jobRec
 	clock   float64
 	events  int
+
+	emit     func(Outcome)
+	finished int
+
+	chunk   []jobRec    // slab the next fresh records come from
+	freed   []*jobRec   // recycled records
+	scratch []heapEntry // backfill keep-list, reused across passes
 }
 
 // New validates the config and returns a facility ready to Run.
@@ -333,55 +425,64 @@ func New(cfg Config) (*Facility, error) {
 // Jobs are identified by their slice index; equal submit times keep
 // slice order (the oracle's stable-sort convention).
 func (f *Facility) Run(jobs []Job) (*Result, error) {
-	recs := make([]*jobRec, len(jobs))
+	res := &Result{Outcomes: make([]Outcome, len(jobs))}
+	sr, err := f.RunStream(jobs, func(o Outcome) { res.Outcomes[o.Seq] = o })
+	if err != nil {
+		return nil, err
+	}
+	res.Clock, res.Events = sr.Clock, sr.Events
+	return res, nil
+}
+
+// RunStream simulates the whole workload, calling emit exactly once per
+// job — in completion order — instead of materialising a Result. Job
+// records are recycled after emission, so memory is bounded by the
+// in-flight set plus one event per job: the mode the 10^6-job E15
+// artefact runs in. Run is RunStream collecting into a slice; the two
+// are outcome-for-outcome identical.
+func (f *Facility) RunStream(jobs []Job, emit func(Outcome)) (StreamResult, error) {
 	for i, j := range jobs {
 		if err := f.validateJob(j); err != nil {
-			return nil, fmt.Errorf("facility: job %d: %w", i, err)
+			return StreamResult{}, fmt.Errorf("facility: job %d: %w", i, err)
 		}
-		if j.Limit == 0 {
-			j.Limit = j.Runtime
-		}
-		recs[i] = &jobRec{job: j, seq: i, state: StateQueued}
-		f.push(j.Submit, kindArrive, recs[i])
-		f.met.submitted.Inc()
+	}
+	f.jobs = jobs
+	f.emit = emit
+	f.met.submitted.Add(int64(len(jobs)))
+	for i, j := range jobs {
+		f.queue.Push(pdes.Event{Time: j.Submit, Rank: kindArrive, Seq: uint64(i)})
 	}
 
+	n := uint64(len(jobs))
 	for f.queue.Len() > 0 {
 		e := f.queue.Pop()
 		if e.Time < f.clock {
-			return nil, fmt.Errorf("facility: virtual clock regressed %g -> %g", f.clock, e.Time)
+			return StreamResult{}, fmt.Errorf("facility: virtual clock regressed %g -> %g", f.clock, e.Time)
 		}
 		f.clock = e.Time
 		f.events++
-		rec := f.payload[e.Seq]
-		switch f.kinds[e.Seq] {
+		switch e.Rank {
 		case kindArrive:
+			rec := f.alloc(int(e.Seq))
 			pool := f.route(rec)
 			rec.pool = pool
 			f.enqueue(f.pools[pool], rec)
 			f.schedule(f.pools[pool])
 		case kindComplete:
+			rec := f.payload[e.Seq-n]
+			f.payload[e.Seq-n] = nil
+			pool := rec.pool
 			f.complete(rec)
-			f.schedule(f.pools[rec.pool])
+			f.schedule(f.pools[pool])
 		case kindWake:
 			f.schedule(f.pools[PoolEC2])
 		}
 	}
-
-	out := &Result{Outcomes: make([]Outcome, len(jobs)), Clock: f.clock, Events: f.events}
-	for i, r := range recs {
-		if r.state != StateCompleted && r.state != StateKilled {
-			return nil, fmt.Errorf("facility: job %d finished in state %s", i, r.state)
-		}
-		out.Outcomes[i] = Outcome{
-			Job: r.job, Seq: i, Pool: r.pool, State: r.state,
-			Start: r.start, End: r.end, Wait: r.start - r.job.Submit,
-			Service: r.end - r.start, Reserved: r.reserved,
-			Interruptions: r.interruptions, LostWork: r.lost, Cost: r.cost,
-		}
+	if f.finished != len(jobs) {
+		return StreamResult{}, fmt.Errorf("facility: %d of %d jobs never finished", len(jobs)-f.finished, len(jobs))
 	}
 	f.cfg.Meter.Add(f.clock)
-	return out, nil
+	return StreamResult{Jobs: len(jobs), Clock: f.clock, Events: f.events}, nil
 }
 
 func (f *Facility) validateJob(j Job) error {
@@ -412,34 +513,76 @@ func (f *Facility) validateJob(j Job) error {
 	return nil
 }
 
-// push schedules one event. The payload index doubles as the heap's
-// tie-breaking Seq, so insertion order makes the order total.
-func (f *Facility) push(at float64, kind uint8, rec *jobRec) {
+// alloc returns a fresh record for job i, reusing recycled ones.
+func (f *Facility) alloc(i int) *jobRec {
+	var rec *jobRec
+	if n := len(f.freed); n > 0 {
+		rec = f.freed[n-1]
+		f.freed = f.freed[:n-1]
+	} else {
+		if len(f.chunk) == 0 {
+			f.chunk = make([]jobRec, 256)
+		}
+		rec = &f.chunk[0]
+		f.chunk = f.chunk[1:]
+	}
+	*rec = jobRec{job: f.jobs[i], seq: i, state: StateQueued}
+	if rec.job.Limit == 0 {
+		rec.job.Limit = rec.job.Runtime
+	}
+	return rec
+}
+
+// pushLater schedules a completion or wake event. Payload indices start
+// after the arrival block, keeping every event's tie-breaking Seq equal
+// to the original encoding's payload index.
+func (f *Facility) pushLater(at float64, kind int, rec *jobRec) {
 	f.payload = append(f.payload, rec)
-	f.kinds = append(f.kinds, kind)
-	f.queue.Push(pdes.Event{Time: at, Rank: int(kind), Seq: uint64(len(f.payload) - 1)})
+	f.queue.Push(pdes.Event{Time: at, Rank: kind, Seq: uint64(len(f.jobs) + len(f.payload) - 1)})
 }
 
-// enqueue inserts rec into the pool queue keeping (submit, seq) order;
-// fairshare passes re-sort by priority at schedule time.
-func (p *poolState) insert(rec *jobRec) {
-	p.queue = append(p.queue, rec)
-}
-
+// enqueue adds rec to its pool's pending set and the queued-work
+// aggregate (the stored qwork makes the later subtraction exact).
 func (f *Facility) enqueue(p *poolState, rec *jobRec) {
-	p.insert(rec)
+	rec.qwork = float64(rec.job.NP) * f.planDur(rec) * f.factor(rec.job.Class, p.id)
+	p.qWork += rec.qwork
+	if f.cfg.Sched == SchedSort {
+		p.queue = append(p.queue, rec)
+		return
+	}
+	if f.cfg.Fairshare {
+		rec.acct = f.share.acct(rec.job.Tenant)
+		p.pend.push(heapEntry{key: rec.acct.key(f.share.half), gen: rec.acct.gen, rec: rec})
+		return
+	}
+	p.pend.push(heapEntry{rec: rec})
 }
 
-// complete finalises one running job: frees its slots and charges the
-// tenant's decayed-usage account for the consumed slot-seconds.
+// pendingLen is the pool's pending-job count on the active path.
+func (f *Facility) pendingLen(p *poolState) int {
+	if f.cfg.Sched == SchedSort {
+		return len(p.queue)
+	}
+	return p.pend.len()
+}
+
+// complete finalises one running job: frees its slots, charges the
+// tenant's decayed-usage account for the consumed slot-seconds, emits
+// the outcome and recycles the record.
 func (f *Facility) complete(rec *jobRec) {
 	p := f.pools[rec.pool]
 	p.free += rec.job.NP
-	for i, r := range p.running {
-		if r == rec {
-			p.running = append(p.running[:i], p.running[i+1:]...)
-			break
+	p.npRun -= rec.job.NP
+	p.npEnd -= float64(rec.job.NP) * rec.end
+	if f.cfg.Sched == SchedSort {
+		for i, r := range p.running {
+			if r == rec {
+				p.running = append(p.running[:i], p.running[i+1:]...)
+				break
+			}
 		}
+	} else if p.id == PoolHPC {
+		p.profile.remove(f.releaseAt(rec), rec.seq)
 	}
 	f.share.charge(rec.job.Tenant, f.clock, rec.charge*float64(rec.job.NP))
 	if rec.state == StateKilled {
@@ -448,6 +591,16 @@ func (f *Facility) complete(rec *jobRec) {
 		f.met.completed.Inc()
 	}
 	f.met.waits.ObserveSeconds(rec.start - rec.job.Submit)
+	if f.emit != nil {
+		f.emit(Outcome{
+			Job: rec.job, Seq: rec.seq, Pool: rec.pool, State: rec.state,
+			Start: rec.start, End: rec.end, Wait: rec.start - rec.job.Submit,
+			Service: rec.end - rec.start, Reserved: rec.reserved,
+			Interruptions: rec.interruptions, LostWork: rec.lost, Cost: rec.cost,
+		})
+	}
+	f.finished++
+	f.freed = append(f.freed, rec)
 }
 
 // start dispatches rec on pool p at the current clock, computing its
@@ -457,7 +610,10 @@ func (f *Facility) start(p *poolState, rec *jobRec) {
 	rec.state = StateRunning
 	rec.start = f.clock
 	p.free -= rec.job.NP
-	p.running = append(p.running, rec)
+	p.qWork -= rec.qwork
+	if f.cfg.Sched == SchedSort {
+		p.running = append(p.running, rec)
+	}
 	f.met.started.Inc()
 
 	factor := f.factor(rec.job.Class, p.id)
@@ -487,7 +643,22 @@ func (f *Facility) start(p *poolState, rec *jobRec) {
 		rec.charge = exec
 		rec.cost = float64(rec.job.NP) * exec / 3600 * f.cfg.Prices[p.id]
 	}
-	f.push(rec.end, kindComplete, rec)
+	p.npRun += rec.job.NP
+	p.npEnd += float64(rec.job.NP) * rec.end
+	if f.cfg.Sched != SchedSort && p.id == PoolHPC {
+		p.profile.insert(f.releaseAt(rec), rec.job.NP, rec.seq)
+	}
+	f.pushLater(rec.end, kindComplete, rec)
+}
+
+// releaseAt is the planning-bound release time reservations charge a
+// running job with: it never frees slots before its computed end.
+func (f *Facility) releaseAt(rec *jobRec) float64 {
+	at := rec.start + f.planDur(rec)
+	if at < rec.end {
+		at = rec.end
+	}
+	return at
 }
 
 // factor returns the class's projected runtime multiplier on pool
@@ -505,40 +676,6 @@ func (f *Facility) planDur(rec *jobRec) float64 {
 	return rec.job.Limit
 }
 
-// sortQueue orders p's queue for one scheduling pass. Without fairshare
-// the queue is already in (submit, seq) order — arrivals are events on
-// the time-ordered heap — so FCFS needs no sort. With fairshare the key
-// is (decayed usage / weight, submit, seq): usage decays at one shared
-// rate, so relative tenant order only changes when usage is charged,
-// and relabeling tenants cannot change the schedule (the order never
-// depends on the tenant name itself — the order-invariance property).
-func (f *Facility) sortQueue(p *poolState) {
-	if !f.cfg.Fairshare || len(p.queue) < 2 {
-		return
-	}
-	type keyed struct {
-		usage float64
-		rec   *jobRec
-	}
-	keys := make([]keyed, len(p.queue))
-	for i, r := range p.queue {
-		keys[i] = keyed{f.share.usageAt(r.job.Tenant, f.clock), r}
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.usage != b.usage {
-			return a.usage < b.usage
-		}
-		if a.rec.job.Submit != b.rec.job.Submit {
-			return a.rec.job.Submit < b.rec.job.Submit
-		}
-		return a.rec.seq < b.rec.seq
-	})
-	for i := range keys {
-		p.queue[i] = keys[i].rec
-	}
-}
-
 // available reports whether the pool can start jobs at the current
 // clock (the spot pool is frozen during a market outage).
 func (f *Facility) available(p *poolState) bool {
@@ -548,11 +685,11 @@ func (f *Facility) available(p *poolState) bool {
 	return true
 }
 
-// schedule runs one scheduling pass over pool p: start queue-order jobs
-// while they fit, then (HPC only) an EASY backfill pass behind the
+// schedule runs one scheduling pass over pool p: start priority-order
+// jobs while they fit, then (HPC only) an EASY backfill pass behind the
 // blocked head's reservation.
 func (f *Facility) schedule(p *poolState) {
-	if len(p.queue) == 0 {
+	if f.pendingLen(p) == 0 {
 		return
 	}
 	if !f.available(p) {
@@ -560,81 +697,31 @@ func (f *Facility) schedule(p *poolState) {
 		// the queued jobs are revisited even if the heap otherwise drains.
 		if end, ok := f.cfg.Spot.outageEndAt(f.clock); ok && p.wakeAt != end {
 			p.wakeAt = end
-			f.push(end, kindWake, nil)
+			f.pushLater(end, kindWake, nil)
 		}
 		return
 	}
-	f.sortQueue(p)
-	for len(p.queue) > 0 && p.queue[0].job.NP <= p.free {
-		rec := p.queue[0]
-		p.queue = p.queue[1:]
-		f.start(p, rec)
-	}
-	if len(p.queue) == 0 || p.id != PoolHPC || !f.cfg.Backfill {
+	if f.cfg.Sched == SchedSort {
+		f.scheduleSort(p)
 		return
 	}
-	f.backfill(p)
+	f.scheduleHeap(p)
 }
 
-// backfill is the EASY pass: compute the head's reservation from the
-// running jobs' planning bounds, then start later jobs that cannot
-// delay it — they either finish (by their limit) before the
-// reservation, or fit in the slots the head leaves spare.
-func (f *Facility) backfill(p *poolState) {
-	head := p.queue[0]
-	resv, spare := f.reservation(p, head)
+// reserve records the head's EASY reservation: set on first block,
+// refreshed downward when a later pass computes an earlier guarantee
+// (completions beat planning bounds, so estimates improve for a fixed
+// head), with the improvement recorded in the refinement metrics.
+func (f *Facility) reserve(head *jobRec, resv float64) {
 	if head.reserved == 0 {
 		head.reserved = resv
+		return
 	}
-	depth := f.cfg.backfillDepth()
-	kept := p.queue[:1]
-	for i, rec := range p.queue[1:] {
-		if i >= depth || p.free == 0 {
-			kept = append(kept, p.queue[1+i:]...)
-			break
-		}
-		fits := rec.job.NP <= p.free
-		safe := f.clock+f.planDur(rec) <= resv || rec.job.NP <= spare
-		if fits && safe {
-			if f.clock+f.planDur(rec) > resv {
-				spare -= rec.job.NP
-			}
-			f.start(p, rec)
-			f.met.backfilled.Inc()
-			continue
-		}
-		kept = append(kept, rec)
+	if resv < head.reserved {
+		f.met.resvRefined.Inc()
+		f.met.resvRefineBy.ObserveSeconds(head.reserved - resv)
+		head.reserved = resv
 	}
-	p.queue = kept
-}
-
-// reservation returns the earliest time the head is guaranteed to fit
-// (walking running jobs' planning-bound ends in ascending order), plus
-// the slots still spare at that time after the head starts.
-func (f *Facility) reservation(p *poolState, head *jobRec) (resv float64, spare int) {
-	ends := make([]struct {
-		at float64
-		np int
-	}, len(p.running))
-	for i, r := range p.running {
-		at := r.start + f.planDur(r)
-		if at < r.end {
-			at = r.end // a job never frees slots before its computed end
-		}
-		ends[i].at = at
-		ends[i].np = r.job.NP
-	}
-	sort.Slice(ends, func(i, j int) bool { return ends[i].at < ends[j].at })
-	free := p.free
-	resv = f.clock
-	for _, e := range ends {
-		if free >= head.job.NP {
-			break
-		}
-		free += e.np
-		resv = e.at
-	}
-	return resv, free - head.job.NP
 }
 
 // route picks the pool an arriving job runs on.
@@ -647,19 +734,17 @@ func (f *Facility) route(rec *jobRec) Pool {
 
 // estWait estimates pool p's queue wait at the current clock: total
 // outstanding planned work (queued planning bounds plus running jobs'
-// remaining spans) divided by the pool's slot capacity.
+// remaining spans) divided by the pool's slot capacity. O(1) from the
+// maintained aggregates — the running remainder is Σnp·end − clock·Σnp,
+// exact because completions sort before arrivals at equal times, so
+// every still-running job has end > clock when a router asks.
 func (f *Facility) estWait(p *poolState) float64 {
 	if p.slots == 0 {
 		return math.Inf(1)
 	}
-	var work float64
-	for _, r := range p.queue {
-		work += float64(r.job.NP) * f.planDur(r) * f.factor(r.job.Class, p.id)
-	}
-	for _, r := range p.running {
-		if rem := r.end - f.clock; rem > 0 {
-			work += float64(r.job.NP) * rem
-		}
+	work := p.qWork + (p.npEnd - f.clock*float64(p.npRun))
+	if work <= 0 {
+		return 0
 	}
 	return work / float64(p.slots)
 }

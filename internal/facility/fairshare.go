@@ -9,15 +9,25 @@ import "math"
 // order of two tenants' usage never changes between charges — decay
 // alone can never reshuffle the queue, which keeps scheduling passes
 // cheap and the schedule a pure function of the charge sequence.
+//
+// charge is the only mutator: queries (usageAt, key) compute the decay
+// on the fly without folding it into the stored value, so the account
+// book's state is identical no matter how often — or from which
+// scheduler path — priorities were queried between charges.
 type shareTracker struct {
 	half    float64
 	weights map[string]float64
 	usage   map[string]*tenantUsage
 }
 
+// tenantUsage is one tenant's account: value slot-seconds decayed to
+// time at, the tenant's cached weight, and a charge generation counter
+// (the staleness stamp for priority keys cached in the pending heap).
 type tenantUsage struct {
-	value float64 // slot-seconds, decayed to `at`
+	value float64
 	at    float64
+	w     float64
+	gen   uint32
 }
 
 func newShareTracker(halfLife float64, weights map[string]float64) *shareTracker {
@@ -27,23 +37,32 @@ func newShareTracker(halfLife float64, weights map[string]float64) *shareTracker
 	return &shareTracker{half: halfLife, weights: weights, usage: map[string]*tenantUsage{}}
 }
 
-// decayTo folds the exponential decay into u.value up to time t.
-func (s *shareTracker) decayTo(u *tenantUsage, t float64) {
+// acct returns the tenant's account, creating an empty one on first use.
+func (s *shareTracker) acct(tenant string) *tenantUsage {
+	u, ok := s.usage[tenant]
+	if !ok {
+		w := 1.0
+		if s.weights != nil {
+			if ww, ok := s.weights[tenant]; ok {
+				w = ww
+			}
+		}
+		u = &tenantUsage{w: w}
+		s.usage[tenant] = u
+	}
+	return u
+}
+
+// charge bills slot-seconds to the tenant's account at time t, folding
+// the decay since the previous charge into the stored value.
+func (s *shareTracker) charge(tenant string, t, slotSeconds float64) {
+	u := s.acct(tenant)
 	if t > u.at {
 		u.value *= math.Exp2(-(t - u.at) / s.half)
 		u.at = t
 	}
-}
-
-// charge bills slot-seconds to the tenant's account at time t.
-func (s *shareTracker) charge(tenant string, t, slotSeconds float64) {
-	u, ok := s.usage[tenant]
-	if !ok {
-		u = &tenantUsage{at: t}
-		s.usage[tenant] = u
-	}
-	s.decayTo(u, t)
 	u.value += slotSeconds
+	u.gen++
 }
 
 // usageAt returns the tenant's weight-normalised decayed usage at t —
@@ -54,12 +73,19 @@ func (s *shareTracker) usageAt(tenant string, t float64) float64 {
 	if !ok {
 		return 0
 	}
-	s.decayTo(u, t)
-	w := 1.0
-	if s.weights != nil {
-		if ww, ok := s.weights[tenant]; ok {
-			w = ww
-		}
+	v := u.value
+	if t > u.at {
+		v *= math.Exp2(-(t - u.at) / s.half)
 	}
-	return u.value / w
+	return v / u.w
+}
+
+// key returns the account's time-independent priority key. With one
+// shared half-life, log2(usage(t)/w) = log2(value/w) - (t-at)/half for
+// every t, so ordering accounts by log2(value/w) + at/half at ANY query
+// time equals ordering them by decayed usage: the key never expires,
+// only charges move it — and a charge only moves it upward. Tenants
+// that never ran sit at -Inf, exactly like usage 0 in the linear domain.
+func (u *tenantUsage) key(half float64) float64 {
+	return math.Log2(u.value/u.w) + u.at/half
 }

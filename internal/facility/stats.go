@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"hash"
 	"math"
 	"sort"
 
@@ -99,27 +100,37 @@ func Digest(res *Result) string {
 		binary.BigEndian.PutUint64(buf[:], v)
 		h.Write(buf[:])
 	}
-	wf := func(v float64) { w64(math.Float64bits(v)) }
-	wf(res.Clock)
+	w64(math.Float64bits(res.Clock))
 	w64(uint64(res.Events))
 	for _, o := range res.Outcomes {
-		h.Write([]byte(o.Tenant))
-		h.Write([]byte{0})
-		h.Write([]byte(o.Class))
-		h.Write([]byte{0, byte(o.Pool), byte(o.State)})
-		w64(uint64(o.Seq))
-		w64(uint64(o.NP))
-		w64(uint64(o.Interruptions))
-		wf(o.Runtime)
-		wf(o.Limit)
-		wf(o.Submit)
-		wf(o.Start)
-		wf(o.End)
-		wf(o.Reserved)
-		wf(o.LostWork)
-		wf(o.Cost)
+		hashOutcome(h, &buf, o)
 	}
 	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// hashOutcome writes one outcome's exact bit pattern to h (shared by
+// Digest and the streaming StreamDigest).
+func hashOutcome(h hash.Hash, buf *[8]byte, o Outcome) {
+	w64 := func(v uint64) {
+		binary.BigEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wf := func(v float64) { w64(math.Float64bits(v)) }
+	h.Write([]byte(o.Tenant))
+	h.Write([]byte{0})
+	h.Write([]byte(o.Class))
+	h.Write([]byte{0, byte(o.Pool), byte(o.State)})
+	w64(uint64(o.Seq))
+	w64(uint64(o.NP))
+	w64(uint64(o.Interruptions))
+	wf(o.Runtime)
+	wf(o.Limit)
+	wf(o.Submit)
+	wf(o.Start)
+	wf(o.End)
+	wf(o.Reserved)
+	wf(o.LostWork)
+	wf(o.Cost)
 }
 
 // OracleStats folds facility outcomes back into arrive.QueueStats using

@@ -158,3 +158,69 @@ func TestScaleTenThousandJobs(t *testing.T) {
 		t.Fatal("scale run digest not reproducible")
 	}
 }
+
+// TestScaleHundredThousandJobs is the streaming stress run: 10^5 jobs
+// from 10^4 tenants through the fully-featured facility, driven via
+// RunStream so memory stays bounded by the in-flight set rather than
+// the trace length. The size deliberately does NOT shrink under -race:
+// this is the race detector's deep-soak over the incremental heap,
+// release profile and slab recycling paths. Skipped in -short mode.
+func TestScaleHundredThousandJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streaming stress test skipped in -short mode")
+	}
+	const jobs, tenants = 100000, 10000
+	wl, err := Generate(WorkloadSpec{
+		Seed:    43,
+		Jobs:    jobs,
+		Tenants: tenants,
+		Slots:   2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spot, err := MarketSpot(43, 0.60, 24*14, 1<<28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Slots:     [NumPools]int{2048, 1024, 1024},
+		Backfill:  true,
+		Fairshare: true,
+		Broker:    staticTestBroker(),
+		Spot:      spot,
+		Prices:    [NumPools]float64{0, 0.34, 0.68},
+		Metrics:   obs.NewRegistry(),
+	}
+	run := func() (Summary, string) {
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss := NewStreamSummary(0, 43)
+		sd := NewStreamDigest()
+		sr, err := f.RunStream(wl, func(o Outcome) {
+			ss.Observe(o)
+			sd.Observe(o)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ss.Summary(), sd.Sum(sr.Clock, sr.Events)
+	}
+	sum, dig := run()
+	if sum.Completed+sum.Killed != jobs {
+		t.Fatalf("conservation: %d+%d != %d", sum.Completed, sum.Killed, jobs)
+	}
+	if sum.Makespan <= 0 || sum.AvgWait < 0 || sum.WaitP99 < sum.WaitP50 {
+		t.Fatalf("degenerate summary: %+v", sum)
+	}
+	for p, n := range sum.ByPool {
+		if n == 0 {
+			t.Fatalf("pool %s received no jobs out of %d", Pool(p), jobs)
+		}
+	}
+	if _, dig2 := run(); dig != dig2 {
+		t.Fatal("streaming stress digest not reproducible")
+	}
+}

@@ -1,0 +1,116 @@
+package facility
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseSWFGolden pins the exact job list parsed from the committed
+// fixture: field mapping, runtime/processor fallbacks, the
+// cancelled-record skip and the class labelling rules.
+func TestParseSWFGolden(t *testing.T) {
+	data, err := os.ReadFile("testdata/sample.swf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := ParseSWF(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Job{
+		{Tenant: "u3", Class: "app5", NP: 8, Runtime: 300, Limit: 600, Submit: 0},
+		{Tenant: "u3", Class: "app5", NP: 4, Runtime: 120, Limit: 120, Submit: 30},
+		{Tenant: "u7", Class: "q2", NP: 16, Runtime: 900, Limit: 900, Submit: 60},
+		{Tenant: "u7", Class: "swf", NP: 32, Runtime: 250, Limit: 200, Submit: 90},
+		{Tenant: "u11", Class: "swf", NP: 8, Runtime: 400, Limit: 350, Submit: 150},
+		{Tenant: "u3", Class: "app5", NP: 2, Runtime: 60.25, Limit: 0, Submit: 200.5},
+		{Tenant: "u12", Class: "app2", NP: 4, Runtime: 100, Limit: 100, Submit: 240},
+	}
+	if !reflect.DeepEqual(jobs, want) {
+		t.Fatalf("parsed jobs mismatch:\n got %+v\nwant %+v", jobs, want)
+	}
+}
+
+// TestParseSWFRuns feeds the fixture through a real facility run: every
+// parsed job must validate and reach a terminal state, and jobs whose
+// recorded runtime exceeds their requested time must be killed at the
+// limit (jobs 4 and 6 in the fixture).
+func TestParseSWFRuns(t *testing.T) {
+	data, err := os.ReadFile("testdata/sample.swf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := ParseSWF(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(Config{Slots: [NumPools]int{64, 0, 0}, Backfill: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed := 0
+	for _, o := range res.Outcomes {
+		if o.State != StateCompleted && o.State != StateKilled {
+			t.Fatalf("job %d finished %s", o.Seq, o.State)
+		}
+		if o.State == StateKilled {
+			killed++
+		}
+	}
+	if killed != 2 {
+		t.Fatalf("killed %d jobs at limit, want 2 (over-request records)", killed)
+	}
+}
+
+// TestParseSWFErrors pins the malformed-line error cases.
+func TestParseSWFErrors(t *testing.T) {
+	good := "1 0 10 300 8 -1 -1 8 600 -1 1 3 1 5 1 1 -1 -1"
+	cases := map[string]string{
+		"short line":      "1 0 10 300 8",
+		"long line":       good + " 99",
+		"non-numeric":     strings.Replace(good, "300", "abc", 1),
+		"non-finite":      strings.Replace(good, "300", "Inf", 1),
+		"negative submit": strings.Replace(good, "1 0 10", "1 -5 10", 1),
+	}
+	for name, line := range cases {
+		if _, err := ParseSWF([]byte(line + "\n")); err == nil {
+			t.Errorf("%s: want error, got none", name)
+		}
+	}
+	if jobs, err := ParseSWF([]byte("; comment only\n\n# hash comment\n")); err != nil || len(jobs) != 0 {
+		t.Fatalf("comment-only trace: got %d jobs, err %v", len(jobs), err)
+	}
+}
+
+// FuzzParseSWF fuzzes the parser: it must never panic, every job it
+// accepts must satisfy the facility's job contract, and parsing is
+// deterministic.
+func FuzzParseSWF(f *testing.F) {
+	if data, err := os.ReadFile("testdata/sample.swf"); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte("1 0 10 300 8 -1 -1 8 600 -1 1 3 1 5 1 1 -1 -1\n"))
+	f.Add([]byte("; header\n2 1.5 0 -1 -1 -1 -1 4 50 -1 5 2 1 -1 3 1 -1 -1\n"))
+	f.Add([]byte("bogus\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		jobs, err := ParseSWF(data)
+		if err != nil {
+			return
+		}
+		for i, j := range jobs {
+			if j.NP <= 0 || !(j.Runtime > 0) || !(j.Limit >= 0) || !(j.Submit >= 0) || j.Tenant == "" || j.Class == "" {
+				t.Fatalf("job %d violates contract: %+v", i, j)
+			}
+		}
+		again, err := ParseSWF(data)
+		if err != nil || !reflect.DeepEqual(jobs, again) {
+			t.Fatalf("reparse diverged: err %v", err)
+		}
+	})
+}

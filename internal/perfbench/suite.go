@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/facility"
 	"repro/internal/mpi"
 	"repro/internal/osu"
 	"repro/internal/platform"
@@ -21,6 +22,12 @@ const (
 	allredLen   = 256  // float64 elements per allreduce
 	allredRanks = 8
 	churnRanks  = 64
+
+	facSlots       = 512 // HPC slots of the facility benches (cloud pools get half each)
+	fac10kJobs     = 10000
+	fac10kTenants  = 1000
+	fac100kJobs    = 100000
+	fac100kTenants = 10000
 )
 
 // Allocation budgets (allocs per run, measured by testing.AllocsPerRun).
@@ -36,6 +43,14 @@ const (
 	// Comm/rankState records from scratch. A regression that drops the
 	// inbox pool or the Run slabs lands back above this line.
 	budgetOSU = 128 // measured 46 pooled; 240 pre-pooling
+	// Facility runs allocate per tenant and per slab chunk, not per job
+	// or per event: the incremental scheduler recycles job records
+	// through a freelist and the pending heap, release profile and
+	// event queue all reuse their backing arrays. The budgets scale far
+	// slower than 10x between the two sizes; a regression back to
+	// per-pass sorting copies or per-job allocation blows through them.
+	budgetFac10k  = 2400  // measured ~1090: tenant accounts + map growth dominate
+	budgetFac100k = 20000 // measured ~9900: ~0.1 allocs per job
 )
 
 // world builds an np-rank world on p, one rank per node when spread is
@@ -78,6 +93,52 @@ func Suite() []Bench {
 			}
 			allredIn = make([]float64, allredLen)
 		})
+	}
+
+	var (
+		facOnce sync.Once
+		fac10k  []facility.Job
+		fac100k []facility.Job
+	)
+	facWorkload := func(jobs, tenants int) []facility.Job {
+		wl, err := facility.Generate(facility.WorkloadSpec{
+			Seed: 1, Jobs: jobs, Tenants: tenants, Slots: facSlots,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("perfbench: facility workload: %v", err))
+		}
+		return wl
+	}
+	facRun := func(wl *[]facility.Job) func() {
+		return func() {
+			facOnce.Do(func() {
+				fac10k = facWorkload(fac10kJobs, fac10kTenants)
+				fac100k = facWorkload(fac100kJobs, fac100kTenants)
+			})
+			f, err := facility.New(facility.Config{
+				Slots:     [facility.NumPools]int{facSlots, facSlots / 2, facSlots / 2},
+				Backfill:  true,
+				Fairshare: true,
+				Broker: &facility.Broker{
+					Factors: map[string][facility.NumPools]float64{
+						"ep": {1, 1.1, 1.3}, "cg": {1, 1.8, 2.6}, "mg": {1, 1.5, 2.1},
+						"ft": {1, 1.9, 2.8}, "is": {1, 1.4, 1.9},
+					},
+					DefaultFactors: [facility.NumPools]float64{1, 1.3, 2},
+				},
+				Prices: [facility.NumPools]float64{0, 0.34, 0.68},
+			})
+			if err != nil {
+				panic(fmt.Sprintf("perfbench: facility: %v", err))
+			}
+			done := 0
+			if _, err := f.RunStream(*wl, func(facility.Outcome) { done++ }); err != nil {
+				panic(fmt.Sprintf("perfbench: facility run: %v", err))
+			}
+			if done != len(*wl) {
+				panic(fmt.Sprintf("perfbench: facility run emitted %d of %d outcomes", done, len(*wl)))
+			}
+		}
 	}
 
 	fig4 := func(kernel string) func() {
@@ -162,6 +223,24 @@ func Suite() []Bench {
 					panic(err)
 				}
 			},
+		},
+		{
+			// The batch facility's event loop at four-digit tenancy: ten
+			// thousand jobs streamed through backfill, fairshare and a
+			// static broker. Allocations track tenants and slab chunks,
+			// not jobs — the incremental-scheduler invariant this budget
+			// gates.
+			Name:        "facility/run-10k",
+			AllocBudget: budgetFac10k,
+			Op:          facRun(&fac10k),
+		},
+		{
+			// The same facility at 100k jobs / 10k tenants: one order of
+			// magnitude up in jobs must stay well under one order up in
+			// allocations.
+			Name:        "facility/run-100k",
+			AllocBudget: budgetFac100k,
+			Op:          facRun(&fac100k),
 		},
 		// Figure regenerations, mirroring bench_test.go's
 		// BenchmarkFig4NPBScaling panels: end-to-end wall-clock cost of the
