@@ -3,7 +3,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race fmt vet lint fuzz bench bench-smoke obs-smoke pdes-smoke facility-smoke verify results clean
+.PHONY: all build test race fmt vet lint fuzz bench bench-report bench-smoke obs-smoke pdes-smoke facility-smoke verify results clean
 
 all: build
 
@@ -48,13 +48,25 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseSWF -fuzztime $(FUZZTIME) ./internal/facility
 
 # Full microbenchmark run: measures the perfbench suite (ns/op, B/op,
-# allocs/op), checks allocation budgets, and rewrites BENCH_PR3.json with
-# the committed numbers as the before column.
+# allocs/op), checks allocation and ns/op budgets, rewrites BENCH_PR3.json
+# with the committed numbers as the before column, and appends a snapshot
+# (with environment provenance) to the append-only bench history.
 bench: build
-	$(GO) run ./cmd/bench -baseline BENCH_PR3.json -out BENCH_PR3.json
+	$(GO) run ./cmd/bench -baseline BENCH_PR3.json -out BENCH_PR3.json \
+		-history results/bench/history.jsonl
 
-# Cheap regression gate: one AllocsPerRun pass per budgeted benchmark, no
-# timing. Fails when the message plane regresses past a committed budget.
+# Trend report over the bench history: per-benchmark deltas vs the
+# previous snapshot and the trailing-window baseline, with statistical
+# verdicts (median + MAD). -fail-on-regression turns it into a gate; the
+# detector only compares snapshots from the same environment fingerprint,
+# so a fresh machine reads as "no-history", never a false regression.
+bench-report: build
+	$(GO) run ./cmd/bench -report -fail-on-regression \
+		-history results/bench/history.jsonl
+
+# Cheap regression gate: one AllocsPerRun pass per budgeted benchmark plus
+# a timed ns/op pass per wall-time-budgeted benchmark. Fails when the
+# message plane or the facility engine regresses past a committed budget.
 bench-smoke: build
 	$(GO) run ./cmd/bench -smoke
 
@@ -120,10 +132,11 @@ facility-smoke: build
 	@echo "facility-smoke: run report deterministic and manifest valid"
 
 # The full local gate: static analysis (format, vet, reprolint), build,
-# tests, race tests, a short fuzz pass, the allocation-budget smoke, the
-# observability smoke, the runtime-parity smoke and the batch-facility
-# smoke. Mirrors what CI runs (.github/workflows/ci.yml).
-verify: lint build test race fuzz bench-smoke obs-smoke pdes-smoke facility-smoke
+# tests, race tests, a short fuzz pass, the allocation/ns-budget smoke,
+# the bench-history trend gate, the observability smoke, the
+# runtime-parity smoke and the batch-facility smoke. Mirrors what CI runs
+# (.github/workflows/ci.yml).
+verify: lint build test race fuzz bench-smoke bench-report obs-smoke pdes-smoke facility-smoke
 	@echo "verify: all gates passed"
 
 # Regenerate the committed seed artefacts (full sweep, seed 0).

@@ -6,7 +6,7 @@
 //
 //	inspect trace FILE [-run N] [-breakdown REGION] [-flame FILE] [-path N]
 //	inspect manifest FILE...
-//	inspect diff [-fail-on-diff] A.manifest.json B.manifest.json
+//	inspect diff [-fail-on-diff] [-tolerance T] A.manifest.json B.manifest.json
 //
 // `trace` prints the per-rank time breakdown (the paper's Figure 7 view),
 // the Scalasca-style wait-state classification with straggler
@@ -14,17 +14,22 @@
 // path; -flame writes folded stacks for flamegraph tools. `manifest`
 // validates and summarises manifests. `diff` compares the deterministic
 // fields of two manifests — metric deltas, artefact hashes, knobs — and
-// with -fail-on-diff exits nonzero when anything differs.
+// with -fail-on-diff exits nonzero when anything differs. Float-valued
+// fields (virtual time, metric totals) go through the shared
+// relative-tolerance comparator (perfbench.Within): -tolerance 0.05
+// accepts a 5% spread, the default 0 keeps the comparison exact.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 
 	"repro/internal/obs"
+	"repro/internal/perfbench"
 	"repro/internal/report"
 )
 
@@ -48,7 +53,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   inspect trace FILE [-run N] [-breakdown REGION] [-flame FILE] [-path N]
   inspect manifest FILE...
-  inspect diff [-fail-on-diff] A.manifest.json B.manifest.json`)
+  inspect diff [-fail-on-diff] [-tolerance T] A.manifest.json B.manifest.json`)
 	os.Exit(2)
 }
 
@@ -263,6 +268,7 @@ func cmdManifest(args []string) {
 func cmdDiff(args []string) {
 	fs := flag.NewFlagSet("inspect diff", flag.ExitOnError)
 	failOnDiff := fs.Bool("fail-on-diff", false, "exit nonzero when the manifests differ")
+	tolerance := fs.Float64("tolerance", 0, "relative tolerance for float-valued fields (0 = exact)")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
 		usage()
@@ -275,10 +281,27 @@ func cmdDiff(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	diffs := diffManifests(os.Stdout, a, b, *tolerance)
+	if diffs == 0 {
+		fmt.Println("manifests match (wall time ignored)")
+	} else {
+		fmt.Printf("%d difference(s)\n", diffs)
+		if *failOnDiff {
+			os.Exit(1)
+		}
+	}
+}
+
+// diffManifests prints every difference between two manifests to w and
+// returns the count. Identity fields (binary, seed, knobs, hashes)
+// compare exactly; numeric fields — virtual time and metric totals — go
+// through the shared relative-tolerance comparator, so a -fail-on-diff
+// gate with a tolerance no longer trips on a sub-noise float delta.
+func diffManifests(w io.Writer, a, b *obs.Manifest, tol float64) int {
 	diffs := 0
 	note := func(format string, args ...any) {
 		diffs++
-		fmt.Printf(format+"\n", args...)
+		fmt.Fprintf(w, format+"\n", args...)
 	}
 
 	if a.Binary != b.Binary {
@@ -300,26 +323,29 @@ func cmdDiff(args []string) {
 		note("faults: %s/%s vs %s/%s", orDash(a.FaultSpec), short(a.FaultDigest),
 			orDash(b.FaultSpec), short(b.FaultDigest))
 	}
-	if a.VirtualSeconds != b.VirtualSeconds {
+	if !perfbench.Within(a.VirtualSeconds, b.VirtualSeconds, tol) {
 		note("virtual_seconds: %s vs %s (delta %s)",
 			report.FormatFloat(a.VirtualSeconds), report.FormatFloat(b.VirtualSeconds),
 			report.FormatFloat(b.VirtualSeconds-a.VirtualSeconds))
 	}
-	diffs += diffMetrics(a.Metrics, b.Metrics)
-	diffs += diffArtefacts(a.Artefacts, b.Artefacts)
+	diffs += diffMetrics(w, a.Metrics, b.Metrics, tol)
+	diffs += diffArtefacts(w, a.Artefacts, b.Artefacts)
+	return diffs
+}
 
-	if diffs == 0 {
-		fmt.Println("manifests match (wall time ignored)")
-	} else {
-		fmt.Printf("%d difference(s)\n", diffs)
-		if *failOnDiff {
-			os.Exit(1)
-		}
+// metricsEqual compares the headline values of one metric within the
+// relative tolerance (histograms on both count and sum).
+func metricsEqual(a, b obs.Metric, tol float64) bool {
+	if a.Kind == "histogram" || b.Kind == "histogram" {
+		return a.Kind == b.Kind &&
+			perfbench.Within(float64(a.Count), float64(b.Count), tol) &&
+			perfbench.Within(float64(a.Sum), float64(b.Sum), tol)
 	}
+	return perfbench.Within(float64(a.Value), float64(b.Value), tol)
 }
 
 // diffMetrics prints per-metric deltas and returns the difference count.
-func diffMetrics(a, b map[string]obs.Metric) int {
+func diffMetrics(w io.Writer, a, b map[string]obs.Metric, tol float64) int {
 	names := unionKeys(a, b)
 	diffs := 0
 	for _, name := range names {
@@ -328,13 +354,13 @@ func diffMetrics(a, b map[string]obs.Metric) int {
 		switch {
 		case !oka:
 			diffs++
-			fmt.Printf("metric %s: only in B (%s)\n", name, metricValue(mb))
+			fmt.Fprintf(w, "metric %s: only in B (%s)\n", name, metricValue(mb))
 		case !okb:
 			diffs++
-			fmt.Printf("metric %s: only in A (%s)\n", name, metricValue(ma))
-		case metricValue(ma) != metricValue(mb):
+			fmt.Fprintf(w, "metric %s: only in A (%s)\n", name, metricValue(ma))
+		case !metricsEqual(ma, mb, tol):
 			diffs++
-			fmt.Printf("metric %s: %s vs %s (delta %d)\n",
+			fmt.Fprintf(w, "metric %s: %s vs %s (delta %d)\n",
 				name, metricValue(ma), metricValue(mb), metricDelta(ma, mb))
 		}
 	}
@@ -358,7 +384,7 @@ func metricDelta(a, b obs.Metric) int64 {
 }
 
 // diffArtefacts compares output hashes and returns the difference count.
-func diffArtefacts(a, b map[string]string) int {
+func diffArtefacts(w io.Writer, a, b map[string]string) int {
 	diffs := 0
 	for _, name := range unionKeys(a, b) {
 		ha, oka := a[name]
@@ -366,13 +392,13 @@ func diffArtefacts(a, b map[string]string) int {
 		switch {
 		case !oka:
 			diffs++
-			fmt.Printf("artefact %s: only in B\n", name)
+			fmt.Fprintf(w, "artefact %s: only in B\n", name)
 		case !okb:
 			diffs++
-			fmt.Printf("artefact %s: only in A\n", name)
+			fmt.Fprintf(w, "artefact %s: only in A\n", name)
 		case ha != hb:
 			diffs++
-			fmt.Printf("artefact %s: content differs (%s vs %s)\n", name, short(ha), short(hb))
+			fmt.Fprintf(w, "artefact %s: content differs (%s vs %s)\n", name, short(ha), short(hb))
 		}
 	}
 	return diffs

@@ -159,7 +159,8 @@ func writeRunManifest(path string, sweep experiments.Sweep, seed uint64,
 			files[name] = data
 		}
 	}
-	knobs := map[string]string{"sweep": string(sweep)}
+	knobs := obs.EnvKnobs(obs.GitRev())
+	knobs["sweep"] = string(sweep)
 	if only != "" {
 		knobs["only"] = only
 	}

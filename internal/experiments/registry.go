@@ -144,6 +144,11 @@ func Registry() []Artefact {
 				t, err := x.TableE15FacilityScale()
 				return tableFiles("fac2_e15_facility_scale", t, err)
 			}},
+		{ID: "drift1", Kind: KindFigure, Desc: "weekly platform drift of the OSU/NPB probe set",
+			Gen: func(x *Ctx) (map[string][]byte, error) {
+				fig, err := x.FigE16Drift()
+				return figureFiles("drift1_e16_drift", fig, err)
+			}},
 	}
 }
 

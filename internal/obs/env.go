@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Environment provenance for interactive run manifests and the bench
+// history: which toolchain, how many CPUs, which commit. These knobs go
+// only into the top-level manifests the cmd binaries write about a live
+// invocation — never into the per-artefact manifests, whose bytes must
+// stay a pure function of (code, seed, knobs).
+
+// EnvKnobs returns the environment-provenance knobs of the current
+// process: go_version, gomaxprocs, num_cpu, and git_rev when non-empty.
+// Merge into an interactive manifest's Knobs so snapshots taken on
+// different machines stay distinguishable.
+func EnvKnobs(gitRev string) map[string]string {
+	m := map[string]string{
+		"go_version": runtime.Version(),
+		"gomaxprocs": strconv.Itoa(runtime.GOMAXPROCS(0)),
+		"num_cpu":    strconv.Itoa(runtime.NumCPU()),
+	}
+	if gitRev != "" {
+		m["git_rev"] = gitRev
+	}
+	return m
+}
+
+// GitRev returns the abbreviated commit of the working tree, or "" when
+// git (or a repository) is unavailable — provenance is best-effort and
+// must never fail a run.
+func GitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

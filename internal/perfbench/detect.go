@@ -1,0 +1,244 @@
+package perfbench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file is the statistical regression gate: given a benchmark's
+// trailing ns/op history and a fresh measurement, classify the change as
+// improved / regressed / stable using a robust median + MAD rule instead
+// of a brittle fixed threshold. Everything here is stdlib float math on
+// the history bytes — same bytes, same verdicts, on any machine.
+
+// Verdict classifies one benchmark's latest measurement against its
+// trailing history window.
+type Verdict string
+
+// Verdicts. NoHistory means the benchmark has no prior same-environment
+// measurements to compare against, which is never a failure.
+const (
+	VerdictStable    Verdict = "stable"
+	VerdictImproved  Verdict = "improved"
+	VerdictRegressed Verdict = "regressed"
+	VerdictNoHistory Verdict = "no-history"
+)
+
+// Detector holds the change-detection knobs. The zero value is unusable;
+// take DefaultDetector and adjust.
+type Detector struct {
+	// Window is the number of trailing history values compared against.
+	Window int
+	// Tolerance is the noise floor: relative changes within ±Tolerance
+	// are always stable, whatever the dispersion says. This is the
+	// "explicit noise tolerance" replacing fixed ns thresholds.
+	Tolerance float64
+	// Sigmas is the robust z-score (distance from the window median in
+	// MAD-derived standard deviations) a change must exceed to count.
+	Sigmas float64
+}
+
+// DefaultDetector returns the committed gate configuration: an 8-run
+// window, a 10% noise floor and a 3-sigma significance bar.
+func DefaultDetector() Detector {
+	return Detector{Window: 8, Tolerance: 0.10, Sigmas: 3}
+}
+
+// minNoiseSamples is the window size below which the MAD cannot estimate
+// run-to-run noise; shorter windows double the tolerance floor instead
+// of trusting a scale estimated from one or two points.
+const minNoiseSamples = 3
+
+// median returns the median of vs (which it sorts a copy of).
+func median(vs []float64) float64 {
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// mad returns the median absolute deviation of vs around med.
+func mad(vs []float64, med float64) float64 {
+	dev := make([]float64, len(vs))
+	for i, v := range vs {
+		dev[i] = math.Abs(v - med)
+	}
+	return median(dev)
+}
+
+// Classify judges a fresh ns/op measurement against its prior
+// same-environment values (history order; only the trailing Window
+// entries are used). The rule, in order:
+//
+//  1. no prior values -> NoHistory;
+//  2. relative change from the window median within ±Tolerance ->
+//     Stable (the noise floor; doubled while the window is shorter than
+//     minNoiseSamples, where the MAD has nothing to estimate noise from);
+//  3. otherwise the change must also clear Sigmas robust standard
+//     deviations (1.4826·MAD) from the median — a run-to-run spread
+//     wider than the delta keeps the verdict Stable;
+//  4. an all-identical window (MAD 0, the hand-built-history case) falls
+//     back to the tolerance rule alone.
+func (d Detector) Classify(prior []float64, current float64) Verdict {
+	if len(prior) == 0 {
+		return VerdictNoHistory
+	}
+	if d.Window > 0 && len(prior) > d.Window {
+		prior = prior[len(prior)-d.Window:]
+	}
+	tol := d.Tolerance
+	if len(prior) < minNoiseSamples {
+		tol *= 2
+	}
+	med := median(prior)
+	if med <= 0 {
+		// Degenerate history (zero or negative timings): only direction
+		// is meaningful.
+		switch {
+		case current > med:
+			return VerdictRegressed
+		case current < med:
+			return VerdictImproved
+		}
+		return VerdictStable
+	}
+	rel := (current - med) / med
+	if math.Abs(rel) <= tol {
+		return VerdictStable
+	}
+	scale := 1.4826 * mad(prior, med)
+	if scale > 0 {
+		z := (current - med) / scale
+		if math.Abs(z) < d.Sigmas {
+			return VerdictStable
+		}
+	}
+	if rel > 0 {
+		return VerdictRegressed
+	}
+	return VerdictImproved
+}
+
+// Trend is one benchmark's row in the continuous-evaluation report.
+type Trend struct {
+	Name    string
+	Current float64 // latest ns/op
+	Prev    float64 // previous same-environment ns/op (0 = none)
+	Base    float64 // oldest same-environment ns/op (0 = none)
+	Runs    int     // prior same-environment measurements
+	Verdict Verdict
+}
+
+// VsPrev returns the relative change against the previous measurement
+// (+0.25 = 25% slower), or 0 when there is none.
+func (t Trend) VsPrev() float64 { return relDelta(t.Prev, t.Current) }
+
+// VsBase returns the relative change against the oldest measurement.
+func (t Trend) VsBase() float64 { return relDelta(t.Base, t.Current) }
+
+func relDelta(from, to float64) float64 {
+	if from == 0 {
+		return 0
+	}
+	return (to - from) / from
+}
+
+// Trends classifies the latest snapshot of a history against the
+// preceding same-environment snapshots, one row per benchmark in the
+// latest snapshot, sorted by name. Keying on names makes the verdicts
+// invariant under benchmark reordering within any snapshot (the quick
+// property detect_test.go checks).
+func (d Detector) Trends(history []Snapshot) []Trend {
+	if len(history) == 0 {
+		return nil
+	}
+	last := history[len(history)-1]
+	prior := history[:len(history)-1]
+	fp := last.Env.Fingerprint()
+
+	points := append([]Point(nil), last.Benchmarks...)
+	sort.Slice(points, func(i, j int) bool { return points[i].Name < points[j].Name })
+
+	trends := make([]Trend, 0, len(points))
+	for _, p := range points {
+		series := Series(prior, p.Name, fp)
+		t := Trend{Name: p.Name, Current: p.NsPerOp, Runs: len(series),
+			Verdict: d.Classify(series, p.NsPerOp)}
+		if len(series) > 0 {
+			t.Base = series[0]
+			t.Prev = series[len(series)-1]
+		}
+		trends = append(trends, t)
+	}
+	return trends
+}
+
+// Regressions filters the trends down to regressed verdicts.
+func Regressions(trends []Trend) []Trend {
+	var out []Trend
+	for _, t := range trends {
+		if t.Verdict == VerdictRegressed {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Within reports whether two float64 values are equal within the given
+// relative tolerance (of the larger magnitude). tol 0 demands exact
+// equality; tol 0.05 accepts a 5% spread. This is the shared comparator
+// behind the ns/op budget gate and `inspect diff -tolerance`.
+func Within(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	if tol <= 0 {
+		return false
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// NsViolation describes one benchmark exceeding its ns/op budget beyond
+// the configured tolerance.
+type NsViolation struct {
+	Name      string
+	Measured  float64
+	Budget    float64
+	Tolerance float64
+}
+
+// Error formats the violation with the effective ceiling.
+func (v NsViolation) Error() string {
+	return fmt.Sprintf("perfbench: %s took %.0f ns/op, budget %.0f (+%.0f%% tolerance = %.0f)",
+		v.Name, v.Measured, v.Budget, 100*v.Tolerance, v.Budget*(1+v.Tolerance))
+}
+
+// CheckNsBudgets measures every ns-budgeted benchmark with
+// testing.Benchmark and returns the ns/op measurements plus any budget
+// violations. A measurement only violates when it exceeds the committed
+// budget by more than the relative tolerance — the explicit noise
+// allowance that keeps the wall-clock gate from flapping.
+func CheckNsBudgets(benches []Bench, tol float64) (map[string]float64, []NsViolation) {
+	measured := make(map[string]float64)
+	var violations []NsViolation
+	for _, b := range benches {
+		if b.NsBudget <= 0 {
+			continue
+		}
+		got := Measure(b).NsPerOp
+		measured[b.Name] = got
+		if got > b.NsBudget*(1+tol) {
+			violations = append(violations, NsViolation{
+				Name: b.Name, Measured: got, Budget: b.NsBudget, Tolerance: tol})
+		}
+	}
+	return measured, violations
+}

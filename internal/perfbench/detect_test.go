@@ -1,0 +1,190 @@
+package perfbench
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// hist builds a history of single-benchmark snapshots ("b") plus a final
+// snapshot at current, all in one environment.
+func hist(prior []float64, current float64) []Snapshot {
+	var h []Snapshot
+	for _, v := range prior {
+		h = append(h, snap("", testEnv, map[string]float64{"b": v}))
+	}
+	return append(h, snap("", testEnv, map[string]float64{"b": current}))
+}
+
+// TestDetectorGoldenVerdicts pins the detector's behaviour on hand-built
+// histories: the contract the verify gate and CI report depend on.
+func TestDetectorGoldenVerdicts(t *testing.T) {
+	d := DefaultDetector()
+	cases := []struct {
+		name    string
+		prior   []float64
+		current float64
+		want    Verdict
+	}{
+		// A flat history then a 3x jump: the injected-regression case.
+		{"clear regression", []float64{100, 101, 99, 100, 102, 98}, 300, VerdictRegressed},
+		// A flat history then a halving: the optimisation case.
+		{"clear improvement", []float64{100, 101, 99, 100, 102, 98}, 50, VerdictImproved},
+		// Noisy history (~20% spread) and a value inside the spread: the
+		// MAD bar keeps a within-noise excursion stable even though it
+		// exceeds the 10% tolerance floor.
+		{"noisy stable", []float64{80, 120, 95, 110, 85, 115}, 122, VerdictStable},
+		// Tiny drift under the tolerance floor is always stable.
+		{"under tolerance", []float64{100, 100, 100, 100}, 108, VerdictStable},
+		// A single prior entry: MAD is zero and the tolerance floor
+		// doubles (no noise estimate from one point), so the widened
+		// tolerance rule decides.
+		{"single entry regression", []float64{100}, 150, VerdictRegressed},
+		{"single entry stable", []float64{100}, 105, VerdictStable},
+		{"single entry improvement", []float64{100}, 60, VerdictImproved},
+		// 12% on one prior point is inside the widened (2x) floor — the
+		// fresh-history case that must not flap the verify gate.
+		{"short window widened", []float64{100}, 112, VerdictStable},
+		// A real jump still clears the widened floor on two points.
+		{"short window regression", []float64{100, 102}, 130, VerdictRegressed},
+		// No prior entries at all.
+		{"no history", nil, 100, VerdictNoHistory},
+		// Identical history (MAD 0) beyond tolerance still trips.
+		{"flat history regression", []float64{100, 100, 100}, 120, VerdictRegressed},
+	}
+	for _, c := range cases {
+		if got := d.Classify(c.prior, c.current); got != c.want {
+			t.Errorf("%s: Classify(%v, %v) = %s, want %s", c.name, c.prior, c.current, got, c.want)
+		}
+	}
+}
+
+func TestDetectorWindow(t *testing.T) {
+	d := DefaultDetector()
+	d.Window = 4
+	// Ancient slow history followed by a fast recent window: only the
+	// window counts, so returning to the ancient speed is a regression.
+	prior := []float64{300, 300, 300, 300, 100, 100, 100, 100}
+	if got := d.Classify(prior, 300); got != VerdictRegressed {
+		t.Fatalf("windowed verdict = %s, want regressed", got)
+	}
+}
+
+func TestTrendsGolden(t *testing.T) {
+	d := DefaultDetector()
+	h := []Snapshot{
+		snap("", testEnv, map[string]float64{"a": 100, "b": 50}),
+		snap("", testEnv, map[string]float64{"a": 101, "b": 50}),
+		snap("", testEnv, map[string]float64{"a": 320, "b": 51}),
+	}
+	trends := d.Trends(h)
+	if len(trends) != 2 {
+		t.Fatalf("got %d trends, want 2", len(trends))
+	}
+	a, b := trends[0], trends[1]
+	if a.Name != "a" || b.Name != "b" {
+		t.Fatalf("trend order %s,%s, want a,b", a.Name, b.Name)
+	}
+	if a.Verdict != VerdictRegressed || b.Verdict != VerdictStable {
+		t.Fatalf("verdicts %s/%s, want regressed/stable", a.Verdict, b.Verdict)
+	}
+	if a.Base != 100 || a.Prev != 101 || a.Current != 320 || a.Runs != 2 {
+		t.Fatalf("trend a = %+v", a)
+	}
+	if got := len(Regressions(trends)); got != 1 {
+		t.Fatalf("Regressions count %d, want 1", got)
+	}
+}
+
+func TestTrendsSkipsForeignEnvironments(t *testing.T) {
+	d := DefaultDetector()
+	other := Env{GoVersion: "go1.98", GOMAXPROCS: 2, NumCPU: 2}
+	h := []Snapshot{
+		snap("", other, map[string]float64{"a": 10}), // 10x faster machine
+		snap("", testEnv, map[string]float64{"a": 100}),
+	}
+	trends := d.Trends(h)
+	if trends[0].Verdict != VerdictNoHistory {
+		t.Fatalf("cross-environment verdict = %s, want no-history", trends[0].Verdict)
+	}
+}
+
+// TestQuickTrendsReorderInvariant: verdicts are a function of benchmark
+// *names*, never of their position inside a snapshot — shuffling every
+// snapshot's benchmark slice must leave the trend table unchanged.
+func TestQuickTrendsReorderInvariant(t *testing.T) {
+	d := DefaultDetector()
+	f := func(seed int64, runs uint8, vals []uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(runs)%6 + 2
+		names := []string{"a", "b", "c", "d"}
+		var h []Snapshot
+		k := 0
+		for i := 0; i < n; i++ {
+			ns := map[string]float64{}
+			for _, name := range names {
+				v := 100.0
+				if len(vals) > 0 {
+					v = 50 + float64(vals[k%len(vals)])
+					k++
+				}
+				ns[name] = v
+			}
+			h = append(h, snap(fmt.Sprintf("t%d", i), testEnv, ns))
+		}
+		want := d.Trends(h)
+		for i := range h {
+			rng.Shuffle(len(h[i].Benchmarks), func(a, b int) {
+				h[i].Benchmarks[a], h[i].Benchmarks[b] = h[i].Benchmarks[b], h[i].Benchmarks[a]
+			})
+		}
+		return reflect.DeepEqual(want, d.Trends(h))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithin(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{100, 100, 0, true},
+		{100, 100.0001, 0, false}, // tol 0 demands exactness
+		{100, 104, 0.05, true},
+		{100, 106, 0.05, false},
+		{0, 0, 0, true},
+		{-100, -104, 0.05, true},
+		{100, 300, 0.25, false},
+	}
+	for _, c := range cases {
+		if got := Within(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("Within(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+	// Symmetry.
+	if Within(100, 130, 0.25) != Within(130, 100, 0.25) {
+		t.Error("Within is not symmetric")
+	}
+}
+
+func TestCheckNsBudgets(t *testing.T) {
+	fast := Bench{Name: "fast", NsBudget: 1e9, Op: func() {}}
+	ungated := Bench{Name: "ungated", Op: func() {}}
+	slow := Bench{Name: "slow", NsBudget: 1, Op: func() {
+		sink = make([]byte, 1<<12)
+	}}
+	measured, violations := CheckNsBudgets([]Bench{fast, ungated, slow}, 0.25)
+	if _, ok := measured["ungated"]; ok {
+		t.Fatal("ungated benchmark was measured")
+	}
+	if len(violations) != 1 || violations[0].Name != "slow" {
+		t.Fatalf("violations = %+v, want exactly slow", violations)
+	}
+	if violations[0].Error() == "" {
+		t.Fatal("empty violation message")
+	}
+}

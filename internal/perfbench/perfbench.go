@@ -42,6 +42,9 @@ type Entry struct {
 	// AllocsPerRun is the testing.AllocsPerRun measurement the budget is
 	// checked against.
 	AllocsPerRun float64 `json:"allocs_per_run,omitempty"`
+	// NsBudget is the committed ns/op ceiling (0 = ungated); violations
+	// are judged with the explicit tolerance of CheckNsBudgets.
+	NsBudget float64 `json:"ns_budget,omitempty"`
 }
 
 // Report is the on-disk BENCH_*.json envelope.
@@ -63,6 +66,10 @@ type Bench struct {
 	// benchmark from the allocation gate (figure regenerations, whose
 	// allocation count is dominated by reporting, not the message plane).
 	AllocBudget float64
+	// NsBudget caps the wall nanoseconds per op measured by
+	// testing.Benchmark; 0 exempts the benchmark from the timing gate.
+	// Checked by CheckNsBudgets with an explicit relative tolerance.
+	NsBudget float64
 }
 
 // Measure times b.Op with the standard benchmark machinery.

@@ -53,6 +53,20 @@ const (
 	budgetFac100k = 20000 // measured ~9900: ~0.1 allocs per job
 )
 
+// Wall-clock budgets (ns/op, measured by testing.Benchmark and checked
+// by CheckNsBudgets with an explicit relative tolerance — the verify
+// knob is cmd/bench -ns-tolerance, default 0.25). Committed at ~2x the
+// measured steady state so the gate trips on a ~3x regression (a
+// reintroduced sort-per-pass scheduler, an accidental O(n) scan) while
+// machine-to-machine variance plus the tolerance stays inside the
+// headroom. Re-baseline after an intentional change by running `make
+// bench` and copying the new measurements here at ~2x (see README,
+// "Continuous performance").
+const (
+	nsBudgetFac10k  = 15e6  // measured ~7.2ms on the reference machine
+	nsBudgetFac100k = 170e6 // measured ~84ms on the reference machine
+)
+
 // world builds an np-rank world on p, one rank per node when spread is
 // set (the OSU two-node configuration).
 func world(p *platform.Platform, np int, spread bool) *mpi.World {
@@ -232,6 +246,7 @@ func Suite() []Bench {
 			// gates.
 			Name:        "facility/run-10k",
 			AllocBudget: budgetFac10k,
+			NsBudget:    nsBudgetFac10k,
 			Op:          facRun(&fac10k),
 		},
 		{
@@ -240,6 +255,7 @@ func Suite() []Bench {
 			// allocations.
 			Name:        "facility/run-100k",
 			AllocBudget: budgetFac100k,
+			NsBudget:    nsBudgetFac100k,
 			Op:          facRun(&fac100k),
 		},
 		// Figure regenerations, mirroring bench_test.go's

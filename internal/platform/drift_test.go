@@ -1,0 +1,83 @@
+package platform
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDriftWeekZeroIsIdentity(t *testing.T) {
+	d := DefaultDrift()
+	for _, p := range All() {
+		got := d.Week(p, 0)
+		if !reflect.DeepEqual(got, p) {
+			t.Errorf("%s: week 0 differs from the baseline", p.Name)
+		}
+	}
+}
+
+func TestDriftLeavesBareMetalFlat(t *testing.T) {
+	d := DefaultDrift()
+	base := Vayu()
+	for week := 1; week <= 8; week++ {
+		if got := d.Week(Vayu(), week); !reflect.DeepEqual(got, base) {
+			t.Fatalf("vayu drifted at week %d: bare metal must stay flat", week)
+		}
+	}
+}
+
+func TestDriftDeterministic(t *testing.T) {
+	d := DefaultDrift()
+	for _, p := range []*Platform{DCC(), EC2()} {
+		a := d.Week(p, 5)
+		b := d.Week(p, 5)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s week 5: two derivations differ", p.Name)
+		}
+	}
+}
+
+func TestDriftActuallyDrifts(t *testing.T) {
+	d := DefaultDrift()
+	p := EC2()
+	w3, w4 := d.Week(p, 3), d.Week(p, 4)
+	if w3.Inter.Bandwidth == w4.Inter.Bandwidth &&
+		w3.ComputeJitter.Sigma == w4.ComputeJitter.Sigma &&
+		w3.ComputeOverhead == w4.ComputeOverhead {
+		t.Fatal("weeks 3 and 4 have identical parameters: no drift")
+	}
+	if w3.Seed == p.Seed {
+		t.Fatal("drifted week kept the stock noise seed")
+	}
+	if w3.Name == p.Name || w3.Name == w4.Name {
+		t.Fatalf("drifted names must be distinct: %s vs %s", w3.Name, w4.Name)
+	}
+}
+
+func TestDriftStaysValidAndDegradesOnly(t *testing.T) {
+	d := DefaultDrift()
+	for _, base := range []*Platform{DCC(), EC2()} {
+		for week := 1; week <= 52; week++ {
+			p := d.Week(base, week)
+			if err := p.Validate(); err != nil {
+				t.Fatalf("%s week %d invalid: %v", base.Name, week, err)
+			}
+			if p.Inter.Bandwidth > base.Inter.Bandwidth {
+				t.Fatalf("%s week %d: contention increased bandwidth", base.Name, week)
+			}
+			if p.Inter.Latency < base.Inter.Latency {
+				t.Fatalf("%s week %d: contention reduced latency", base.Name, week)
+			}
+			if p.ComputeOverhead < 1 {
+				t.Fatalf("%s week %d: overhead %v dropped below bare metal", base.Name, week, p.ComputeOverhead)
+			}
+		}
+	}
+}
+
+func TestDriftSeedNamespaces(t *testing.T) {
+	a := DriftSpec{Seed: 1, JitterAmp: 0.5, ContentionAmp: 1, OverheadAmp: 0.5}
+	b := DriftSpec{Seed: 2, JitterAmp: 0.5, ContentionAmp: 1, OverheadAmp: 0.5}
+	if reflect.DeepEqual(a.Week(EC2(), 1), b.Week(EC2(), 1)) {
+		t.Fatal("different drift seeds produced identical week-1 platforms")
+	}
+}
