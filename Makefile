@@ -3,7 +3,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race fmt vet lint fuzz bench bench-report bench-smoke obs-smoke pdes-smoke facility-smoke verify results clean
+.PHONY: all build test race fmt vet lint lint-bench lint-sarif fuzz bench bench-report bench-smoke obs-smoke pdes-smoke facility-smoke verify results clean
 
 all: build
 
@@ -28,6 +28,17 @@ lint: fmt vet
 	$(GO) mod tidy -diff
 	$(GO) mod verify
 	$(GO) run ./cmd/reprolint ./...
+
+# Machine-readable lint log for code-scanning backends (CI uploads it).
+lint-sarif: build
+	$(GO) run ./cmd/reprolint -sarif ./... > reprolint.sarif
+
+# The lint gate's own latency is a tracked performance surface: time one
+# cold in-process reprolint sweep (load + type-check + facts + all
+# analyzers) against the committed wall-clock budget and append a
+# lint/reprolint-sweep point to the bench history.
+lint-bench: build
+	$(GO) run ./cmd/bench -lint-bench -history results/bench/history.jsonl
 
 test:
 	$(GO) test ./...
@@ -133,10 +144,12 @@ facility-smoke: build
 
 # The full local gate: static analysis (format, vet, reprolint), build,
 # tests, race tests, a short fuzz pass, the allocation/ns-budget smoke,
-# the bench-history trend gate, the observability smoke, the
-# runtime-parity smoke and the batch-facility smoke. Mirrors what CI runs
-# (.github/workflows/ci.yml).
-verify: lint build test race fuzz bench-smoke bench-report obs-smoke pdes-smoke facility-smoke
+# the bench-history trend gate, the lint-latency budget, the
+# observability smoke, the runtime-parity smoke and the batch-facility
+# smoke. Mirrors what CI runs (.github/workflows/ci.yml). lint-bench
+# runs after bench-report so the trend gate judges the committed
+# history, not the point lint-bench just appended.
+verify: lint build test race fuzz bench-smoke bench-report lint-bench obs-smoke pdes-smoke facility-smoke
 	@echo "verify: all gates passed"
 
 # Regenerate the committed seed artefacts (full sweep, seed 0).

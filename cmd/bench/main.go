@@ -25,11 +25,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/perfbench"
@@ -48,6 +50,8 @@ func main() {
 	tolerance := flag.Float64("tolerance", perfbench.DefaultDetector().Tolerance, "relative noise floor of the change detector")
 	nsTolerance := flag.Float64("ns-tolerance", 0.25, "relative tolerance on the committed ns/op budgets")
 	manifest := flag.String("manifest", "", "write a run-manifest JSON to this file")
+	lintBench := flag.Bool("lint-bench", false,
+		"time the reprolint whole-module sweep against its committed wall-clock budget")
 	flag.Parse()
 	start := time.Now()
 
@@ -62,6 +66,10 @@ func main() {
 
 	if *reportMode {
 		reportTrends(*history, detector, *failOnRegression, flag.Args())
+		return
+	}
+	if *lintBench {
+		runLintBench(*history, env, start)
 		return
 	}
 
@@ -258,4 +266,65 @@ func fail(violations []perfbench.BudgetViolation, ns []perfbench.NsViolation) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "bench:", err)
 	os.Exit(1)
+}
+
+// runLintBench times one cold reprolint sweep of the whole module —
+// load, type-check, interprocedural facts, every analyzer — in-process
+// (the same work `make lint`'s reprolint step does, minus the go run
+// compile), checks it against the committed wall-clock budget and
+// appends a "lint/reprolint-sweep" point to the bench history.
+func runLintBench(historyPath string, env perfbench.Env, start time.Time) {
+	root, err := moduleRoot(".")
+	if err != nil {
+		fatal(err)
+	}
+	t0 := time.Now()
+	loader := analysis.NewModuleLoader(root, analysis.ModulePath)
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := analysis.Run(analysis.All(), pkgs)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(t0)
+	if len(diags) > 0 {
+		// A dirty tree would time the diagnostic path, not the gate.
+		fatal(fmt.Errorf("lint-bench: tree not reprolint-clean (%d findings); run make lint", len(diags)))
+	}
+
+	fmt.Printf("%-24s %12.0f ns/sweep (%d packages, budget %.0f)\n",
+		"lint/reprolint-sweep", float64(elapsed.Nanoseconds()), len(pkgs), float64(perfbench.LintSweepBudgetNs))
+	if historyPath != "" {
+		when := start.UTC().Format(time.RFC3339)
+		snap := perfbench.SnapshotFromStats(core.ModelVersion, when, env, map[string]perfbench.Stats{
+			"lint/reprolint-sweep": {N: 1, NsPerOp: float64(elapsed.Nanoseconds())},
+		})
+		if err := perfbench.AppendHistory(historyPath, snap); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("bench: snapshot appended to %s (%s)\n", historyPath, env.Fingerprint())
+	}
+	if float64(elapsed.Nanoseconds()) > perfbench.LintSweepBudgetNs {
+		fatal(fmt.Errorf("lint-bench: sweep took %v, budget %v — an analyzer has regressed",
+			elapsed, time.Duration(perfbench.LintSweepBudgetNs)))
+	}
+	fmt.Println("bench: reprolint sweep inside its wall-clock budget")
+}
+
+// moduleRoot walks up from dir to the directory holding go.mod.
+func moduleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		if filepath.Dir(d) == d {
+			return "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+	}
 }

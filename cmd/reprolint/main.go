@@ -28,6 +28,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -51,7 +52,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	only := fs.String("only", "", "comma-separated analyzer subset (default: all)")
 	allow := fs.String("allow", "", "extra detwall allowlist file (pkgpath funcname # reason)")
 	printFlags := fs.Bool("flags", false, "print flag metadata (vettool protocol)")
-	jsonOut := fs.Bool("json", false, "emit diagnostics as unitchecker JSON (vettool protocol)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON (unitchecker shape under vet, a flat array standalone)")
+	sarifOut := fs.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log (standalone mode)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -87,10 +89,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if fs.NArg() == 1 && strings.HasSuffix(fs.Arg(0), ".cfg") {
 		return runVettool(fs.Arg(0), analyzers, *jsonOut, stdout, stderr)
 	}
-	return runStandalone(fs.Args(), analyzers, stdout, stderr)
+	mode := modePlain
+	switch {
+	case *sarifOut:
+		mode = modeSARIF
+	case *jsonOut:
+		mode = modeJSON
+	}
+	return runStandalone(fs.Args(), analyzers, mode, stdout, stderr)
 }
 
-func runStandalone(patterns []string, analyzers []*analysis.Analyzer, stdout, stderr io.Writer) int {
+type outputMode int
+
+const (
+	modePlain outputMode = iota
+	modeJSON
+	modeSARIF
+)
+
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, mode outputMode, stdout, stderr io.Writer) int {
 	root, modPath, err := findModule(".")
 	if err != nil {
 		fmt.Fprintln(stderr, "reprolint:", err)
@@ -114,12 +131,45 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer, stdout, st
 		fmt.Fprintln(stderr, "reprolint:", err)
 		return 2
 	}
-	for _, d := range diags {
-		rel := d.Pos.Filename
-		if r, err := filepath.Rel(root, rel); err == nil && !strings.HasPrefix(r, "..") {
-			rel = r
+	relTo := func(name string) string {
+		if r, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(r, "..") {
+			return filepath.ToSlash(r)
 		}
-		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		return filepath.ToSlash(name)
+	}
+	switch mode {
+	case modeJSON:
+		type jsonDiag struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File: relTo(d.Pos.Filename), Line: d.Pos.Line, Column: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "reprolint:", err)
+			return 2
+		}
+	case modeSARIF:
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(sarifLog(analyzers, diags, relTo)); err != nil {
+			fmt.Fprintln(stderr, "reprolint:", err)
+			return 2
+		}
+	default:
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", relTo(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "reprolint: %d finding(s)\n", len(diags))
@@ -187,6 +237,8 @@ type vetConfig struct {
 	GoFiles     []string
 	ImportMap   map[string]string
 	PackageFile map[string]string
+	PackageVetx map[string]string // dependency facts written by earlier invocations
+	VetxOutput  string            // where this package's facts go
 }
 
 // runVettool analyzes the single package described by a unitchecker cfg
@@ -254,10 +306,41 @@ func runVettool(cfgPath string, analyzers []*analysis.Analyzer, jsonOut bool, st
 		Path: cfg.ImportPath, Dir: cfg.Dir,
 		Fset: fset, Files: files, Types: tpkg, Info: info,
 	}
-	diags, err := analysis.Run(analyzers, []*analysis.Package{pkg})
+	// Seed the facts engine with the dependency summaries go vet has
+	// already collected (the PackageVetx half of the unitchecker
+	// protocol), then export this package's table for its importers.
+	imported := &analysis.Facts{}
+	vetxPaths := make([]string, 0, len(cfg.PackageVetx))
+	for p := range cfg.PackageVetx {
+		vetxPaths = append(vetxPaths, p)
+	}
+	sort.Strings(vetxPaths)
+	for _, p := range vetxPaths {
+		blob, err := os.ReadFile(cfg.PackageVetx[p])
+		if err != nil || len(blob) == 0 {
+			continue // dependency produced no facts; nothing to seed
+		}
+		dep := &analysis.Facts{}
+		if err := dep.UnmarshalJSON(blob); err != nil {
+			fmt.Fprintf(stderr, "reprolint: bad facts for %s: %v\n", p, err)
+			return 2
+		}
+		imported.Merge(dep)
+	}
+	diags, facts, err := analysis.RunWithFacts(analyzers, []*analysis.Package{pkg}, imported)
 	if err != nil {
 		fmt.Fprintln(stderr, "reprolint:", err)
 		return 2
+	}
+	if cfg.VetxOutput != "" {
+		blob, err := facts.MarshalJSON()
+		if err == nil {
+			err = os.WriteFile(cfg.VetxOutput, blob, 0o666)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "reprolint:", err)
+			return 2
+		}
 	}
 	if jsonOut {
 		// The unitchecker JSON shape, parsed by the go vet driver:

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	_ "embed"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HotMarker is the doc-comment marker that opts a function into
+// allochot's no-allocation contract in addition to the embedded
+// hot-list:
+//
+//	//reprolint:hot
+//	func (q *Queue) Push(e Event) { ... }
+const HotMarker = "//reprolint:hot"
+
+// allochotHotDefault ships the repository's hot-list: the per-message,
+// per-event and per-job functions whose allocation behaviour the
+// perfbench budgets (mpi/world-churn-64, facility/run-10k, run-100k)
+// gate at runtime. Format: one "pkgpath funcname  # why it is hot" per
+// line, the same grammar as detwall_allow.txt.
+//
+//go:embed allochot_hot.txt
+var allochotHotDefault string
+
+// allochotHot maps canonical function keys to the reason the function
+// is on the hot path.
+var allochotHot = mustParseAllowlist(allochotHotDefault)
+
+// HotlistKeys returns the embedded hot-list's canonical function keys
+// in sorted order. The self-check test resolves each against the
+// computed fact table so a renamed hot function cannot silently drop
+// out of allochot's coverage.
+func HotlistKeys() []string {
+	keys := make([]string, 0, len(allochotHot))
+	for k := range allochotHot {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Allochot proves the hot paths allocation-free at compile time: inside
+// every function carrying the //reprolint:hot marker or listed in the
+// embedded hot-list, it reports each potential allocation site (append
+// growth, make/new, closure captures, interface boxing, string concat,
+// slice/map literals, calls assumed to allocate) and each call into a
+// module function whose interprocedural fact says it transitively
+// allocates. Audited amortised allocations (pooled slab growth, cap-
+// guarded doubling) are silenced with a reasoned
+// //lint:allow reprolint/allochot comment, which also clears the
+// callee's Allocates fact so the allowance composes up the call graph.
+var Allochot = &Analyzer{
+	Name: "allochot",
+	Doc: "forbid allocation in //reprolint:hot functions and the embedded " +
+		"hot-list (mpi send/recv/inbox, pdes queue, facility heap " +
+		"scheduler); escape hatch: //lint:allow reprolint/allochot <reason>",
+	NeedsFacts: true,
+	Run:        runAllochot,
+}
+
+// hasHotMarker reports whether a declaration's doc comment opts it in.
+func hasHotMarker(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), HotMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// passDeclKey is DeclKey over a Pass (the analyzer-side view of a
+// package).
+func passDeclKey(pass *Pass, fd *ast.FuncDecl) string {
+	obj, _ := pass.Info.Defs[fd.Name].(*types.Func)
+	return FuncKey(obj)
+}
+
+func runAllochot(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			key := passDeclKey(pass, fd)
+			if _, listed := allochotHot[key]; !listed && !hasHotMarker(fd) {
+				continue
+			}
+			name := fd.Name.Name
+			if fd.Recv != nil && len(fd.Recv.List) > 0 {
+				if rt := recvTypeName(fd.Recv.List[0].Type); rt != "" {
+					name = rt + "." + name
+				}
+			}
+			w := &allocWalker{
+				fset: pass.Fset,
+				info: pass.Info,
+				tpkg: pass.Pkg,
+				alloc: func(node ast.Node, why string) {
+					pass.Reportf(node.Pos(), "allocation in hot function %s: %s", name, why)
+				},
+				localCall: func(call *ast.CallExpr, fn *types.Func, ckey string) {
+					ff := pass.Facts.Of(ckey)
+					if !ff.Allocates {
+						return
+					}
+					chain := pass.Facts.WhyChain(ckey, func(f FuncFacts) string { return f.AllocWhy })
+					pass.Reportf(call.Pos(),
+						"hot function %s calls allocating function (%s)", name, chain)
+				},
+			}
+			w.walk(fd.Body)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package analysis
+
+import "testing"
+
+// TestAllochotHotPaths drives the full allocation catalogue through the
+// fixture: direct sites (append, make, literals, concat, closures,
+// boxing, dynamic dispatch, go statements), cross-package transitive
+// facts, allow composition at the leaf and at the site, and the
+// panic-argument cold path.
+func TestAllochotHotPaths(t *testing.T) {
+	RunFixture(t, Allochot, "testdata/src/allochot", "repro/internal/mpi")
+}
+
+// TestAllochotHotlistResolves pins the embedded hot-list to reality:
+// every key must name a function that exists in the module, so a
+// refactor that renames a hot function cannot silently drop it from
+// the gate.
+func TestAllochotHotlistResolves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root := repoRoot(t)
+	loader := NewModuleLoader(root, ModulePath)
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	facts := ComputeFacts(pkgs, nil)
+	for _, key := range HotlistKeys() {
+		if !facts.Has(key) {
+			t.Errorf("allochot_hot.txt entry %q does not resolve to a declared function", key)
+		}
+	}
+}

@@ -30,6 +30,11 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph help text shown by cmd/reprolint -list.
 	Doc string
+	// NeedsFacts marks analyzers that consume the interprocedural fact
+	// table (Pass.Facts): the driver computes facts over the loaded
+	// packages (seeded with imported dependency facts under the vettool
+	// protocol) before any such analyzer runs.
+	NeedsFacts bool
 	// Run inspects one package and reports findings via pass.Reportf.
 	Run func(pass *Pass) error
 }
@@ -41,6 +46,12 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+
+	// Facts is the interprocedural fact table covering every function of
+	// the analyzed package set (plus imported dependency summaries under
+	// the vettool protocol). Populated for every pass; analyzers that set
+	// NeedsFacts rely on it, the rest may ignore it.
+	Facts *Facts
 
 	diags *[]Diagnostic
 }
@@ -82,6 +93,17 @@ func InModule(path string) bool {
 // by position. Malformed suppressions (missing reason) are themselves
 // reported so a silencing comment always carries its justification.
 func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	diags, _, err := RunWithFacts(analyzers, pkgs, nil)
+	return diags, err
+}
+
+// RunWithFacts is Run plus the interprocedural fact plumbing: imported
+// seeds the fact computation with dependency summaries (nil when the
+// whole module is loaded at once), and the returned fact table — the
+// imported facts plus a summary for every function declared in pkgs —
+// is what a vettool driver exports for the packages that import these.
+func RunWithFacts(analyzers []*Analyzer, pkgs []*Package, imported *Facts) ([]Diagnostic, *Facts, error) {
+	facts := ComputeFacts(pkgs, imported)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		if !InModule(pkg.Path) {
@@ -96,11 +118,12 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Facts:    facts,
 				diags:    &diags,
 			}
 			before := len(diags)
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+				return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
 			diags = filterSuppressed(diags, before, sup)
 		}
@@ -118,7 +141,7 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
+	return diags, facts, nil
 }
 
 // suppression marks "analyzer X is allowed at file:line".
@@ -137,13 +160,18 @@ type suppression struct {
 const AllowPrefix = "//lint:allow "
 
 // collectSuppressions scans a package's comments for allow markers. A
-// marker suppresses findings on its own line and on the following line
-// (so it can sit above the offending statement).
+// marker suppresses findings on every line from its own through the end
+// of its comment group plus one — so it works on the offending line, on
+// the line immediately above (the common placement), and anywhere
+// inside a multi-line comment block sitting on top of the offending
+// statement (the marker may be followed by further explanation lines
+// before a multi-line range statement, say, without losing its effect).
 func collectSuppressions(pkg *Package) (map[suppression]bool, []Diagnostic) {
 	sup := map[suppression]bool{}
 	var bad []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
+			groupEnd := pkg.Fset.Position(cg.End()).Line
 			for _, c := range cg.List {
 				text := c.Text
 				if !strings.HasPrefix(text, AllowPrefix) {
@@ -162,7 +190,7 @@ func collectSuppressions(pkg *Package) (map[suppression]bool, []Diagnostic) {
 					continue
 				}
 				an := strings.TrimPrefix(name, "reprolint/")
-				for _, line := range []int{pos.Line, pos.Line + 1} {
+				for line := pos.Line; line <= groupEnd+1; line++ {
 					sup[suppression{file: pos.Filename, line: line, analyzer: an}] = true
 				}
 			}
@@ -197,6 +225,9 @@ func All() []*Analyzer {
 		Mpireq,
 		Obsstable,
 		Errcheck,
+		Allochot,
+		Detflow,
+		Lockhyg,
 	}
 }
 

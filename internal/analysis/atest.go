@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
 	"regexp"
 	"sort"
@@ -25,18 +26,20 @@ type TB interface {
 var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
 
 // RunFixture type-checks the fixture package at importPath under srcRoot
-// (a GOPATH-shaped tree: srcRoot/<importPath>/*.go), runs the analyzer,
-// and compares its diagnostics against the `// want "re"` comments in the
-// fixture: every diagnostic must be expected on its line, and every
-// expectation must be matched exactly once.
+// (a GOPATH-shaped tree: srcRoot/<importPath>/*.go), runs the analyzer
+// over it and its module-local fixture dependencies (so interprocedural
+// facts cross the package boundary exactly as in the real module), and
+// compares the diagnostics against the `// want "re"` comments in every
+// loaded fixture file: each diagnostic must be expected on its line, and
+// each expectation must be matched exactly once.
 func RunFixture(t TB, a *Analyzer, srcRoot, importPath string) {
 	t.Helper()
 	l := NewFixtureLoader(srcRoot)
-	pkg, err := l.Load(importPath)
-	if err != nil {
+	if _, err := l.Load(importPath); err != nil {
 		t.Fatalf("loading fixture %s: %v", importPath, err)
 	}
-	diags, err := Run([]*Analyzer{a}, []*Package{pkg})
+	pkgs := l.Loaded()
+	diags, err := Run([]*Analyzer{a}, pkgs)
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, importPath, err)
 	}
@@ -46,14 +49,20 @@ func RunFixture(t TB, a *Analyzer, srcRoot, importPath string) {
 		line int
 	}
 	wants := map[key][]*regexp.Regexp{}
-	for _, f := range pkg.Files {
+	var files []*ast.File
+	var fset *token.FileSet
+	for _, pkg := range pkgs {
+		files = append(files, pkg.Files...)
+		fset = pkg.Fset
+	}
+	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				m := wantRe.FindStringSubmatch(c.Text)
 				if m == nil {
 					continue
 				}
-				pos := pkg.Fset.Position(c.Pos())
+				pos := fset.Position(c.Pos())
 				res, perr := parseWants(m[1])
 				if perr != nil {
 					t.Fatalf("%s:%d: %v", pos.Filename, pos.Line, perr)

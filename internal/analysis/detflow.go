@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	_ "embed"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// SinkMarker is the doc-comment marker that opts a function into
+// detflow's sink set in addition to the embedded list:
+//
+//	//reprolint:artefact-sink
+//	func writeFigure(...) error { ... }
+const SinkMarker = "//reprolint:artefact-sink"
+
+// detflowSinksDefault ships the repository's artefact/manifest writers:
+// the functions whose output lands in committed artefact bytes and must
+// therefore be reachable from no wall-clock or global-rand source.
+// Format: one "pkgpath funcname  # what it writes" per line, the
+// detwall_allow.txt grammar.
+//
+//go:embed detflow_sinks.txt
+var detflowSinksDefault string
+
+// detflowSinks maps canonical function keys to a description of the
+// artefact they produce.
+var detflowSinks = mustParseAllowlist(detflowSinksDefault)
+
+// SinkKeys returns the embedded sink list's canonical function keys in
+// sorted order (selfcheck asserts each resolves to a real function).
+func SinkKeys() []string {
+	keys := make([]string, 0, len(detflowSinks))
+	for k := range detflowSinks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Detflow is the interprocedural upgrade of detwall/detrand: instead of
+// flagging wall-clock and global-rand *sources* package by package, it
+// checks that no source *reaches* an artefact or manifest writer
+// through any call chain. The facts engine supplies each sink's
+// transitive ReadsClock/GlobalRand summary; a violation's diagnostic
+// carries the full witness chain (sink -> ... -> time.Now at
+// file:line), so the fix site is visible without re-tracing the graph.
+// Sources already excused — a //lint:allow reprolint/detwall or
+// reprolint/detflow on the source line, or a detwall_allow.txt entry —
+// never taint the chain.
+var Detflow = &Analyzer{
+	Name: "detflow",
+	Doc: "forbid wall-clock and global-rand sources from reaching " +
+		"artefact/manifest writers (embedded sink list or " +
+		"//reprolint:artefact-sink marker) through any call chain",
+	NeedsFacts: true,
+	Run:        runDetflow,
+}
+
+// hasSinkMarker reports whether a declaration's doc comment opts it in.
+func hasSinkMarker(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), SinkMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+func runDetflow(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			key := passDeclKey(pass, fd)
+			if _, listed := detflowSinks[key]; !listed && !hasSinkMarker(fd) {
+				continue
+			}
+			ff := pass.Facts.Of(key)
+			if ff.ReadsClock {
+				chain := pass.Facts.WhyChain(key, func(f FuncFacts) string { return f.ClockWhy })
+				pass.Reportf(fd.Name.Pos(),
+					"artefact writer %s transitively reads the wall clock: %s", key, chain)
+			}
+			if ff.GlobalRand {
+				chain := pass.Facts.WhyChain(key, func(f FuncFacts) string { return f.RandWhy })
+				pass.Reportf(fd.Name.Pos(),
+					"artefact writer %s transitively draws from the global rand source: %s", key, chain)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+package analysis
+
+import "testing"
+
+// TestDetflowArtefactSinks drives the taint flow end to end: clock and
+// global-rand sources one package away from the marked sinks, the
+// virtual-time clean path, and an allow at the source clearing every
+// sink downstream of it.
+func TestDetflowArtefactSinks(t *testing.T) {
+	RunFixture(t, Detflow, "testdata/src/detflow", "repro/internal/experiments")
+}
+
+// TestDetflowSinklistResolves pins the embedded sink list to reality,
+// like the allochot hot-list test.
+func TestDetflowSinklistResolves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root := repoRoot(t)
+	loader := NewModuleLoader(root, ModulePath)
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	facts := ComputeFacts(pkgs, nil)
+	for _, key := range SinkKeys() {
+		if !facts.Has(key) {
+			t.Errorf("detflow_sinks.txt entry %q does not resolve to a declared function", key)
+		}
+	}
+}

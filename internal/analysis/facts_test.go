@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// loadFactsFixture loads the two-package facts fixture (mid imports
+// leaf) and returns every loaded package in sorted path order.
+func loadFactsFixture(t *testing.T) []*Package {
+	t.Helper()
+	l := NewFixtureLoader("testdata/src/facts")
+	if _, err := l.Load("repro/internal/mid"); err != nil {
+		t.Fatalf("loading facts fixture: %v", err)
+	}
+	return l.Loaded()
+}
+
+// factsOnly filters the fixture packages down to one import path.
+func factsOnly(pkgs []*Package, path string) []*Package {
+	var out []*Package
+	for _, p := range pkgs {
+		if p.Path == path {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// TestFactsCrossPackage asserts the summaries and their witnesses for
+// every fixture function: direct effects at the leaf, lifted effects
+// one and two hops up, and clean functions staying clean.
+func TestFactsCrossPackage(t *testing.T) {
+	facts := ComputeFacts(loadFactsFixture(t), nil)
+
+	ff := facts.Of("repro/internal/leaf.Alloc")
+	if !ff.Allocates || ff.AllocWhy != "make allocates at leaf.go:8" {
+		t.Errorf("leaf.Alloc = %+v, want direct make witness", ff)
+	}
+	if ff.ReadsClock || ff.GlobalRand || ff.Spawns {
+		t.Errorf("leaf.Alloc carries spurious facts: %+v", ff)
+	}
+
+	ff = facts.Of("repro/internal/leaf.Now")
+	if !ff.ReadsClock || ff.ClockWhy != "time.Now at leaf.go:11" {
+		t.Errorf("leaf.Now = %+v, want clock witness", ff)
+	}
+
+	ff = facts.Of("repro/internal/leaf.Spawn")
+	if !ff.Spawns || ff.SpawnWhy != "go statement at leaf.go:15" {
+		t.Errorf("leaf.Spawn = %+v, want spawn witness", ff)
+	}
+	if !ff.Allocates {
+		t.Errorf("leaf.Spawn should allocate (goroutine): %+v", ff)
+	}
+
+	ff = facts.Of("repro/internal/leaf.Clean")
+	if ff.Allocates || ff.ReadsClock || ff.GlobalRand || ff.Spawns {
+		t.Errorf("leaf.Clean should be effect-free: %+v", ff)
+	}
+
+	ff = facts.Of("repro/internal/mid.Wrap")
+	if !ff.Allocates || ff.AllocWhy != "calls repro/internal/leaf.Alloc" {
+		t.Errorf("mid.Wrap = %+v, want lifted alloc via leaf.Alloc", ff)
+	}
+
+	ff = facts.Of("repro/internal/mid.Clock")
+	if !ff.ReadsClock || ff.ClockWhy != "calls repro/internal/leaf.Now" {
+		t.Errorf("mid.Clock = %+v, want lifted clock via leaf.Now", ff)
+	}
+
+	ff = facts.Of("repro/internal/mid.Burst")
+	if !ff.Spawns || ff.SpawnWhy != "calls repro/internal/leaf.Spawn" {
+		t.Errorf("mid.Burst = %+v, want lifted spawn via leaf.Spawn", ff)
+	}
+
+	ff = facts.Of("repro/internal/mid.Calm")
+	if ff.Allocates || ff.ReadsClock || ff.GlobalRand || ff.Spawns {
+		t.Errorf("mid.Calm should be effect-free: %+v", ff)
+	}
+
+	const wantChain = "repro/internal/mid.Deep -> repro/internal/mid.Wrap -> " +
+		"repro/internal/leaf.Alloc -> make allocates at leaf.go:8"
+	chain := facts.WhyChain("repro/internal/mid.Deep", func(f FuncFacts) string { return f.AllocWhy })
+	if chain != wantChain {
+		t.Errorf("WhyChain(mid.Deep) = %q, want %q", chain, wantChain)
+	}
+}
+
+// TestFactsSCCRecursion asserts the SCC condensation: the Even/Odd
+// cycle unions Odd's allocation into both members, and the effect-free
+// self-recursive Count converges without inventing facts.
+func TestFactsSCCRecursion(t *testing.T) {
+	facts := ComputeFacts(loadFactsFixture(t), nil)
+	for _, key := range []string{"repro/internal/leaf.Even", "repro/internal/leaf.Odd"} {
+		if ff := facts.Of(key); !ff.Allocates {
+			t.Errorf("%s = %+v, want Allocates via the SCC union", key, ff)
+		}
+	}
+	if ff := facts.Of("repro/internal/leaf.Count"); ff.Allocates || ff.ReadsClock || ff.GlobalRand || ff.Spawns {
+		t.Errorf("leaf.Count (self-recursive, effect-free) = %+v, want no facts", ff)
+	}
+}
+
+// TestFactsImportedSeed exercises the vettool shape: leaf is analyzed
+// alone, its facts round-trip through the JSON export, and mid is then
+// analyzed with only the imported table — the lifted facts must come
+// out identical to the whole-module run.
+func TestFactsImportedSeed(t *testing.T) {
+	pkgs := loadFactsFixture(t)
+	leafFacts := ComputeFacts(factsOnly(pkgs, "repro/internal/leaf"), nil)
+
+	blob, err := leafFacts.MarshalJSON()
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	imported := &Facts{}
+	if err := imported.UnmarshalJSON(blob); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+
+	midFacts := ComputeFacts(factsOnly(pkgs, "repro/internal/mid"), imported)
+	if ff := midFacts.Of("repro/internal/mid.Wrap"); !ff.Allocates || ff.AllocWhy != "calls repro/internal/leaf.Alloc" {
+		t.Errorf("mid.Wrap with imported facts = %+v, want lifted alloc", ff)
+	}
+	if ff := midFacts.Of("repro/internal/mid.Clock"); !ff.ReadsClock {
+		t.Errorf("mid.Clock with imported facts = %+v, want lifted clock", ff)
+	}
+	if !midFacts.Has("repro/internal/leaf.Alloc") {
+		t.Error("imported dependency facts should be retained in the merged table")
+	}
+}
+
+// TestFactsOrderInvariance is the determinism property: any permutation
+// of the package load order must produce a bit-identical fact table.
+func TestFactsOrderInvariance(t *testing.T) {
+	pkgs := loadFactsFixture(t)
+	baseline, err := ComputeFacts(pkgs, nil).MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		shuffled := make([]*Package, len(pkgs))
+		for i, j := range r.Perm(len(pkgs)) {
+			shuffled[i] = pkgs[j]
+		}
+		got, err := ComputeFacts(shuffled, nil).MarshalJSON()
+		return err == nil && bytes.Equal(got, baseline)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 32}); err != nil {
+		t.Errorf("fact table depends on package load order: %v", err)
+	}
+}

@@ -167,6 +167,23 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 	return pkgs, nil
 }
 
+// Loaded returns every module-local package this loader has loaded so
+// far (roots and their local dependencies) in sorted path order — the
+// set the facts engine needs to see for cross-package summaries in
+// fixture mode.
+func (l *Loader) Loaded() []*Package {
+	paths := make([]string, 0, len(l.cache))
+	for p := range l.cache {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkgs = append(pkgs, l.cache[p])
+	}
+	return pkgs
+}
+
 // dirFor maps an import path to the directory that provides it, or
 // ok=false when the path belongs to the standard library.
 func (l *Loader) dirFor(path string) (string, bool) {

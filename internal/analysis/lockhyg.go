@@ -1,0 +1,447 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lockhyg flags static concurrency-hygiene candidates that complement
+// `go test -race` (which only observes executed interleavings):
+//
+//   - a struct field written both inside methods that hold the struct's
+//     mutex and inside methods that never lock it (the classic
+//     forgotten-lock write);
+//   - an atomic.Value stored with more than one concrete type (Store
+//     panics at runtime on the second type);
+//   - a sync.Pool value used after it was handed back via Put (the
+//     pool may have re-leased it to another goroutine).
+//
+// All three are heuristics over one package's syntax: single-threaded
+// construction phases and externally-synchronised methods are excused
+// with a reasoned //lint:allow reprolint/lockhyg comment.
+var Lockhyg = &Analyzer{
+	Name: "lockhyg",
+	Doc: "flag mixed locked/unlocked field writes, atomic.Value stores " +
+		"of differing concrete types, and sync.Pool values used after Put",
+	Run: runLockhyg,
+}
+
+func runLockhyg(pass *Pass) error {
+	checkMixedGuard(pass)
+	checkAtomicValueTypes(pass)
+	checkPoolUseAfterPut(pass)
+	return nil
+}
+
+// --- mixed locked/unlocked field writes -------------------------------
+
+// isMutexType reports whether t (through pointers) is sync.Mutex or
+// sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	return isNamedType(t, "sync", "Mutex") || isNamedType(t, "sync", "RWMutex")
+}
+
+// hasMutex reports whether the named struct type guards itself: a field
+// (named or embedded) of type sync.Mutex/RWMutex.
+func hasMutex(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if isMutexType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldAccess is one receiver-field write observed in a method.
+type fieldAccess struct {
+	field  string
+	pos    token.Pos
+	method string
+}
+
+// checkMixedGuard looks at every method set of a mutex-carrying struct
+// type: methods that call Lock/RLock on the receiver's mutex are
+// "locked", the rest are not. A field written in at least one locked
+// method and in at least one unlocked method is reported at the
+// unlocked write.
+func checkMixedGuard(pass *Pass) {
+	type typeState struct {
+		lockedWrites   map[string]bool // fields written under the lock
+		lockedReads    map[string]bool // fields read under the lock
+		unlockedWrites []fieldAccess
+	}
+	states := map[*types.Named]*typeState{}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			recvIdents := fd.Recv.List[0].Names
+			if len(recvIdents) == 0 || recvIdents[0].Name == "_" {
+				continue
+			}
+			recvObj, _ := pass.Info.Defs[recvIdents[0]].(*types.Var)
+			if recvObj == nil {
+				continue
+			}
+			named := namedOf(recvObj.Type())
+			if named == nil {
+				continue
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok || !hasMutex(st) {
+				continue
+			}
+			state := states[named]
+			if state == nil {
+				state = &typeState{lockedWrites: map[string]bool{}, lockedReads: map[string]bool{}}
+				states[named] = state
+			}
+
+			locked := methodLocks(pass, fd, recvObj) || lockedByContract(fd)
+			reads, writes := receiverFieldAccesses(pass, fd, recvObj)
+			mname := fd.Name.Name
+			for _, w := range writes {
+				if locked {
+					state.lockedWrites[w.field] = true
+				} else {
+					w.method = mname
+					state.unlockedWrites = append(state.unlockedWrites, w)
+				}
+			}
+			for _, r := range reads {
+				if locked {
+					state.lockedReads[r.field] = true
+				}
+			}
+		}
+	}
+
+	named := make([]*types.Named, 0, len(states))
+	for n := range states {
+		named = append(named, n)
+	}
+	sort.Slice(named, func(i, j int) bool { return named[i].Obj().Name() < named[j].Obj().Name() })
+	for _, n := range named {
+		state := states[n]
+		for _, w := range state.unlockedWrites {
+			if state.lockedWrites[w.field] || state.lockedReads[w.field] {
+				pass.Reportf(w.pos,
+					"%s.%s is guarded by %s's mutex elsewhere but written without it in %s; "+
+						"lock around the write or excuse the single-threaded phase with "+
+						"//lint:allow reprolint/lockhyg <reason>",
+					n.Obj().Name(), w.field, n.Obj().Name(), w.method)
+			}
+		}
+	}
+}
+
+// lockedByContract recognises the repository's caller-holds-the-lock
+// conventions: a method named with the "Locked" suffix, or whose doc
+// comment states "Caller holds ..." — both promise the receiver's mutex
+// is held on entry, so their unguarded field writes are the contract,
+// not a bug.
+func lockedByContract(fd *ast.FuncDecl) bool {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return true
+	}
+	if fd.Doc != nil {
+		// Normalise the comment's line wrapping before matching so
+		// "Caller\nholds b.mu." still counts.
+		text := strings.Join(strings.Fields(fd.Doc.Text()), " ")
+		if strings.Contains(text, "aller holds") {
+			return true
+		}
+	}
+	return false
+}
+
+// methodLocks reports whether the method body calls Lock or RLock on a
+// mutex rooted at the receiver (a mutex field or an embedded mutex).
+func methodLocks(pass *Pass, fd *ast.FuncDecl, recv *types.Var) bool {
+	locks := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if locks {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeObj(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		switch fn.Name() {
+		case "Lock", "RLock":
+		default:
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && rootedAt(pass, sel.X, recv) {
+			locks = true
+			return false
+		}
+		return true
+	})
+	return locks
+}
+
+// rootedAt reports whether expr is the receiver variable or a selector
+// chain starting from it (c, c.mu, c.inner.mu, ...).
+func rootedAt(pass *Pass, expr ast.Expr, recv *types.Var) bool {
+	for {
+		switch v := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return pass.Info.Uses[v] == recv
+		case *ast.SelectorExpr:
+			expr = v.X
+		case *ast.StarExpr:
+			expr = v.X
+		case *ast.IndexExpr:
+			expr = v.X
+		default:
+			return false
+		}
+	}
+}
+
+// receiverFieldAccesses collects the receiver's struct fields the
+// method reads and writes (selector chains rooted at the receiver;
+// mutex fields themselves excluded).
+func receiverFieldAccesses(pass *Pass, fd *ast.FuncDecl, recv *types.Var) (reads, writes []fieldAccess) {
+	record := func(expr ast.Expr, isWrite bool) {
+		sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+		if !ok || !rootedAt(pass, sel.X, recv) {
+			return
+		}
+		// Only direct receiver fields: recv.f — deeper chains (recv.f.g)
+		// still count as an access to f's referent, attributed to f.
+		fv, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+		if !ok || !fv.IsField() || isMutexType(fv.Type()) {
+			return
+		}
+		fa := fieldAccess{field: sel.Sel.Name, pos: sel.Sel.Pos()}
+		if isWrite {
+			writes = append(writes, fa)
+		} else {
+			reads = append(reads, fa)
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				record(lhs, true)
+				// Index writes (recv.m[k] = ...) mutate the field too.
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					record(ix.X, true)
+				}
+			}
+			for _, rhs := range v.Rhs {
+				recordReadsIn(pass, rhs, record)
+			}
+			return true
+		case *ast.IncDecStmt:
+			record(v.X, true)
+			return true
+		case *ast.SelectorExpr:
+			record(v, false)
+			return false
+		}
+		return true
+	})
+	return reads, writes
+}
+
+// recordReadsIn walks an expression recording receiver-field reads.
+func recordReadsIn(pass *Pass, expr ast.Expr, record func(ast.Expr, bool)) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			record(sel, false)
+			return false
+		}
+		return true
+	})
+}
+
+// --- atomic.Value concrete-type consistency ---------------------------
+
+// checkAtomicValueTypes groups (atomic.Value).Store calls by the stored
+// variable and reports when more than one concrete type flows in: Store
+// panics at runtime when the second type arrives.
+func checkAtomicValueTypes(pass *Pass) {
+	type storeSite struct {
+		pos  token.Pos
+		typ  types.Type
+		name string
+	}
+	stores := map[types.Object][]storeSite{}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			pkgPath, typeName, method, ok := methodInfo(pass.Info, call)
+			if !ok || pkgPath != "sync/atomic" || typeName != "Value" || method != "Store" {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := atomicValueObj(pass, sel.X)
+			if obj == nil {
+				return true
+			}
+			t := pass.Info.TypeOf(call.Args[0])
+			if t == nil || types.IsInterface(t.Underlying()) {
+				return true // dynamic type unknown statically
+			}
+			stores[obj] = append(stores[obj], storeSite{
+				pos: call.Pos(), typ: t, name: obj.Name(),
+			})
+			return true
+		})
+	}
+
+	objs := make([]types.Object, 0, len(stores))
+	for o := range stores {
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+	for _, o := range objs {
+		sites := stores[o]
+		sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+		first := sites[0].typ
+		for _, s := range sites[1:] {
+			if !types.Identical(s.typ, first) {
+				pass.Reportf(s.pos,
+					"atomic.Value %s stored with concrete type %s after %s; "+
+						"Store panics on inconsistent types — wrap values in a single named type",
+					s.name, s.typ.String(), first.String())
+			}
+		}
+	}
+}
+
+// atomicValueObj resolves the variable or field that owns the
+// atomic.Value receiver expression (v.Store → v; s.val.Store → val).
+func atomicValueObj(pass *Pass, expr ast.Expr) types.Object {
+	switch v := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[v]
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[v.Sel]
+	case *ast.StarExpr:
+		return atomicValueObj(pass, v.X)
+	}
+	return nil
+}
+
+// --- sync.Pool use-after-Put ------------------------------------------
+
+// checkPoolUseAfterPut reports identifiers used after being handed back
+// to a sync.Pool in the same function body: the pool may already have
+// re-leased the value to another goroutine. Re-assigning the variable
+// (x = pool.Get()) clears the taint.
+func checkPoolUseAfterPut(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolInBody(pass, fd.Body)
+		}
+	}
+}
+
+func checkPoolInBody(pass *Pass, body *ast.BlockStmt) {
+	// Collect Put(x) sites keyed by x's object.
+	type putSite struct {
+		obj  types.Object
+		end  token.Pos
+		name string
+	}
+	var puts []putSite
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		pkgPath, typeName, method, ok := methodInfo(pass.Info, call)
+		if !ok || pkgPath != "sync" || typeName != "Pool" || method != "Put" {
+			return true
+		}
+		id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		puts = append(puts, putSite{obj: obj, end: call.End(), name: id.Name})
+		return true
+	})
+
+	for _, put := range puts {
+		// Scan uses after the Put in source order; stop at the first
+		// reassignment (the variable holds a fresh value again).
+		type occ struct {
+			pos      token.Pos
+			assigned bool
+		}
+		var occs []occ
+		ast.Inspect(body, func(n ast.Node) bool {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						o := pass.Info.Uses[id]
+						if o == nil {
+							o = pass.Info.Defs[id]
+						}
+						if o == put.obj {
+							occs = append(occs, occ{pos: id.Pos(), assigned: true})
+						}
+					}
+				}
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if pass.Info.Uses[id] == put.obj && id.Pos() > put.end {
+					occs = append(occs, occ{pos: id.Pos()})
+				}
+			}
+			return true
+		})
+		sort.Slice(occs, func(i, j int) bool {
+			if occs[i].pos != occs[j].pos {
+				return occs[i].pos < occs[j].pos
+			}
+			// A reassignment LHS ident surfaces both as an assignment and
+			// a plain use at the same position: the assignment wins.
+			return occs[i].assigned && !occs[j].assigned
+		})
+		for _, o := range occs {
+			if o.pos <= put.end {
+				continue
+			}
+			if o.assigned {
+				break // re-acquired; later uses are fine
+			}
+			pass.Reportf(o.pos,
+				"%s used after sync.Pool.Put returned it to the pool; "+
+					"the pool may have re-leased it — nil the variable or reorder the Put",
+				put.name)
+			break // one report per Put is enough
+		}
+	}
+}

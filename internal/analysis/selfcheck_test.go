@@ -72,6 +72,51 @@ func contains(xs []string, want string) bool {
 	return false
 }
 
+// TestSelfCheckNewAnalyzers pins the v2 suite specifically: the module
+// must stay clean under the facts-engine analyzers (allochot, detflow,
+// lockhyg) on their own, so a regression in one of them cannot hide
+// behind the older analyzers' output ordering.
+func TestSelfCheckNewAnalyzers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root := repoRoot(t)
+	loader := NewModuleLoader(root, ModulePath)
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := Run([]*Analyzer{Allochot, Detflow, Lockhyg}, pkgs)
+	if err != nil {
+		t.Fatalf("running v2 analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("repo not clean under %s: %s", d.Analyzer, d)
+	}
+}
+
+// TestAllowlistReasons asserts every embedded allowlist entry carries a
+// non-empty reason: the escape hatches are reviewable only if each one
+// says why it exists. (Inline //lint:allow comments are covered by the
+// sweep itself — a missing reason is a "suppression" diagnostic.)
+func TestAllowlistReasons(t *testing.T) {
+	lists := map[string]map[string]string{
+		"detwall_allow.txt": detwallAllow,
+		"allochot_hot.txt":  allochotHot,
+		"detflow_sinks.txt": detflowSinks,
+	}
+	for file, entries := range lists {
+		if len(entries) == 0 {
+			t.Errorf("%s: embedded allowlist is empty", file)
+		}
+		for key, reason := range entries {
+			if strings.TrimSpace(reason) == "" {
+				t.Errorf("%s: entry %q has no reason", file, key)
+			}
+		}
+	}
+}
+
 // TestSelfCheckSeededViolation proves the gate actually fires: a copy of
 // a netmodel-like source with a time.Now call must produce a detwall
 // finding when analyzed under its real package path.

@@ -1,0 +1,33 @@
+// Package experiments is the detflow fixture: artefact writers that
+// must not transitively reach a wall-clock or global-rand source.
+package experiments
+
+import (
+	"repro/internal/sim"
+)
+
+// helper hides the clock read one hop deeper inside the module.
+func helper() int64 { return sim.Stamp() }
+
+//reprolint:artefact-sink
+func writeManifest() int64 { // want `artefact writer repro/internal/experiments.writeManifest transitively reads the wall clock: repro/internal/experiments.writeManifest -> repro/internal/experiments.helper -> repro/internal/sim.Stamp -> time.Now at sim.go:12`
+	return helper()
+}
+
+//reprolint:artefact-sink
+func writeFigure() float64 { // want `artefact writer repro/internal/experiments.writeFigure transitively draws from the global rand source`
+	return sim.Jitter()
+}
+
+//reprolint:artefact-sink
+func writeTable(clock float64) float64 {
+	return sim.Virtual(clock) // clean: virtual time only
+}
+
+//reprolint:artefact-sink
+func writeVolatile() int64 {
+	return sim.AllowedStamp() // clean: the source carries a reviewed allow
+}
+
+// coldPath reads the clock but is no sink: no diagnostic.
+func coldPath() int64 { return sim.Stamp() }

@@ -1,0 +1,25 @@
+// Package sim is the detflow fixture's dependency stub: nondeterminism
+// sources buried one package away from the artefact writers.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock — the ReadsClock fact must cross the
+// package boundary.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Jitter draws from the runtime-seeded global source.
+func Jitter() float64 { return rand.Float64() }
+
+// Virtual is clean: derived from an argument, no host clock.
+func Virtual(clock float64) float64 { return clock * 2 }
+
+// AllowedStamp reads the clock under a reviewed allow, so the fact is
+// cleared at the source and sinks calling it stay clean.
+func AllowedStamp() int64 {
+	//lint:allow reprolint/detflow volatile wall-latency series, excluded from stable snapshots
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,44 @@
+// Package leaf is the facts-engine fixture's dependency: every effect
+// class at the bottom of the call graph, plus recursion shapes.
+package leaf
+
+import "time"
+
+// Alloc allocates directly.
+func Alloc() []int { return make([]int, 8) }
+
+// Now reads the wall clock.
+func Now() int64 { return time.Now().UnixNano() }
+
+// Spawn starts a goroutine.
+func Spawn() {
+	go func() {}()
+}
+
+// Clean is effect-free.
+func Clean(a, b int) int { return a + b }
+
+// Even and Odd form a two-node SCC; only Odd allocates, so the SCC
+// union must hand both the Allocates fact.
+func Even(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	return Odd(n - 1)
+}
+
+func Odd(n int) []int {
+	if n == 0 {
+		return make([]int, 1)
+	}
+	return Even(n - 1)
+}
+
+// Count is self-recursive and effect-free: the self-loop SCC must
+// converge without inventing facts.
+func Count(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return 1 + Count(n-1)
+}

@@ -1,0 +1,93 @@
+// Package mpi is the lockhyg fixture: mixed locked/unlocked field
+// writes, atomic.Value type drift, and sync.Pool use-after-Put.
+package mpi
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Inbox guards its depth with a mutex in the hot methods.
+type Inbox struct {
+	mu    sync.Mutex
+	depth int
+	stats int
+}
+
+// Push is the locked writer that makes depth and stats guarded fields.
+func (b *Inbox) Push() {
+	b.mu.Lock()
+	b.depth++
+	b.stats++
+	b.mu.Unlock()
+}
+
+// Reset forgets the lock: the classic mixed-guard write.
+func (b *Inbox) Reset() {
+	b.depth = 0 // want `Inbox.depth is guarded by Inbox's mutex elsewhere but written without it in Reset; lock around the write or excuse the single-threaded phase with //lint:allow reprolint/lockhyg <reason>`
+}
+
+// drainLocked writes without locking, but the Locked suffix is the
+// repository's caller-holds-the-lock contract: no diagnostic.
+func (b *Inbox) drainLocked() {
+	b.depth = 0
+}
+
+// seed primes the queue depth during handoff. Caller
+// holds b.mu.
+func (b *Inbox) seed(n int) {
+	b.depth = n // clean: the wrapped doc contract still matches
+}
+
+// construct runs before any goroutine exists; the allow excuses it.
+func (b *Inbox) construct(n int) {
+	//lint:allow reprolint/lockhyg single-threaded construction precedes every goroutine
+	b.stats = n
+}
+
+// Box drifts its atomic.Value between concrete types.
+type Box struct {
+	val atomic.Value
+}
+
+func (x *Box) fill() {
+	x.val.Store(1)
+	x.val.Store("two") // want `atomic.Value val stored with concrete type string after int; Store panics on inconsistent types — wrap values in a single named type`
+}
+
+// BoxOK keeps a single concrete type: no diagnostic.
+type BoxOK struct {
+	val atomic.Value
+}
+
+func (x *BoxOK) fill() {
+	x.val.Store(1)
+	x.val.Store(2)
+}
+
+// Msg is the pooled envelope.
+type Msg struct {
+	n int
+}
+
+var pool sync.Pool
+
+// release reads the envelope after handing it back.
+func release(m *Msg) int {
+	pool.Put(m)
+	return m.n // want `m used after sync.Pool.Put returned it to the pool; the pool may have re-leased it — nil the variable or reorder the Put`
+}
+
+// releaseOK re-acquires before the next use: the taint clears.
+func releaseOK(m *Msg) int {
+	pool.Put(m)
+	m = pool.Get().(*Msg)
+	return m.n
+}
+
+// releaseBefore uses the envelope before the Put: clean.
+func releaseBefore(m *Msg) int {
+	n := m.n
+	pool.Put(m)
+	return n
+}

@@ -112,6 +112,7 @@ func (w *World) enterBlocked() {
 	if quiesce {
 		// abortAll takes inbox locks, which may include the one held by
 		// this caller; run it from a clean goroutine.
+		//lint:allow reprolint/allochot failure quiesce only; a healthy hot path never reaches it
 		go w.abortAll()
 	}
 }

@@ -88,6 +88,8 @@ func New(n, workers int) *Engine {
 }
 
 // OnStall registers the stall handler. Must be called before Go.
+//
+//lint:allow reprolint/lockhyg registration precedes Go; no goroutine can observe the write
 func (e *Engine) OnStall(fn func(parked []int)) { e.onStall = fn }
 
 // Workers returns the engine's concurrency bound.
@@ -248,8 +250,10 @@ func (e *Engine) checkStallLocked() {
 	var parked []int
 	for r := range e.procs {
 		if e.procs[r].state == stateParked {
+			//lint:allow reprolint/allochot stall diagnosis is a terminal cold path (at most once per run)
 			parked = append(parked, r)
 		}
 	}
+	//lint:allow reprolint/allochot stall handler spawns once, after the simulation has wedged
 	go e.onStall(parked)
 }

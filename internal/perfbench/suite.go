@@ -67,6 +67,18 @@ const (
 	nsBudgetFac100k = 170e6 // measured ~84ms on the reference machine
 )
 
+// LintSweepBudgetNs bounds the reprolint whole-module sweep — load,
+// type-check and all analyzers including the interprocedural facts
+// walk, measured in-process by `cmd/bench -lint-bench` and recorded in
+// the bench history as "lint/reprolint-sweep". The static-analysis gate
+// runs on every commit, so its own latency is a tracked performance
+// surface: an analyzer that goes accidentally quadratic in module size
+// fails verify here rather than silently doubling every CI run.
+// Committed with generous headroom (wall time of a cold sweep is
+// noisier than a microbenchmark: export-data cache state and CI
+// machine speed both move it).
+const LintSweepBudgetNs = 20e9 // measured ~2.1s cold on the reference machine
+
 // world builds an np-rank world on p, one rank per node when spread is
 // set (the OSU two-node configuration).
 func world(p *platform.Platform, np int, spread bool) *mpi.World {
